@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 10 (performance/energy ratio)."""
+
+from conftest import BENCH_SUBSET, MEASURE, WARMUP, run_once
+
+from repro.experiments import figure10
+
+
+def test_bench_figure10(benchmark):
+    results = run_once(
+        benchmark, figure10.run,
+        benchmarks=BENCH_SUBSET, measure=MEASURE, warmup=WARMUP,
+    )
+    # Paper shape: HALF+FX has the best PER of all five models.
+    assert results["HALF+FX"]["ALL"] > results["BIG"]["ALL"]
+    assert results["HALF+FX"]["ALL"] > results["LITTLE"]["ALL"]
+    assert results["HALF+FX"]["ALL"] >= results["HALF"]["ALL"] * 0.98

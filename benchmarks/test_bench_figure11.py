@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 11 (IPC vs IXU configuration)."""
+
+from conftest import MEASURE, WARMUP, run_once
+
+from repro.experiments import figure11
+
+
+def test_bench_figure11(benchmark):
+    results = run_once(
+        benchmark, figure11.run,
+        benchmarks=["hmmer", "libquantum"],
+        measure=MEASURE, warmup=WARMUP,
+    )
+    # Paper headline: [3,1,1]/opt loses only ~0.5 % vs [3,3,3]/full.
+    assert results["full"]["[3, 3, 3]"] == 1.0
+    assert results["opt"]["[3, 1, 1]"] > 0.95
+    # Shrinking the first stage costs more than shrinking later ones.
+    assert results["full"]["[1, 1, 1]"] <= results["full"]["[3, 1, 1]"]

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 12 (IXU executed rate vs depth)."""
+
+from conftest import BENCH_SUBSET, MEASURE, WARMUP, run_once
+
+from repro.experiments import figure12
+
+
+def test_bench_figure12(benchmark):
+    results = run_once(
+        benchmark, figure12.run,
+        benchmarks=BENCH_SUBSET, depths=(1, 2, 3, 4, 6),
+        measure=MEASURE, warmup=WARMUP,
+    )
+    rates = results["ALL"]
+    # Paper shape: monotone-ish growth with depth, already substantial
+    # at one stage, more than half by three.
+    assert rates[1] > 0.20
+    assert rates[3] > rates[1]
+    assert rates[6] >= rates[3] - 0.02
+    # INT programs use the IXU more than FP programs (no FP units).
+    assert results["INT"][3] > results["FP"][3]

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 13 (IPC vs IXU depth)."""
+
+from conftest import BENCH_SUBSET, MEASURE, WARMUP, run_once
+
+from repro.experiments import figure13
+
+
+def test_bench_figure13(benchmark):
+    results = run_once(
+        benchmark, figure13.run,
+        benchmarks=BENCH_SUBSET, depths=(1, 3, 6),
+        measure=MEASURE, warmup=WARMUP,
+    )
+    rel = results["ALL"]
+    # Paper shape: IPC grows with depth then saturates past ~3 stages.
+    assert rel[3] >= rel[1] - 0.02
+    assert abs(rel[6] - rel[3]) < 0.10

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 7 (relative IPC, all five models)."""
+
+from conftest import BENCH_SUBSET, MEASURE, WARMUP, run_once
+
+from repro.experiments import figure7
+
+
+def test_bench_figure7(benchmark):
+    results = run_once(
+        benchmark, figure7.run,
+        benchmarks=BENCH_SUBSET, measure=MEASURE, warmup=WARMUP,
+    )
+    # Paper shapes: BIG is the baseline; LITTLE loses a lot; the FXA
+    # models track or beat BIG; BIG+FX >= HALF+FX only marginally.
+    assert results["BIG"]["mean"] == 1.0
+    assert results["LITTLE"]["mean"] < 0.8
+    assert results["HALF+FX"]["mean"] > results["HALF"]["mean"]
+    assert results["HALF+FX"]["mean"] > 0.9

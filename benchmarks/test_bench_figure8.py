@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 8 (energy breakdown, both panels)."""
+
+from conftest import BENCH_SUBSET, MEASURE, WARMUP, run_once
+
+from repro.experiments import figure8
+
+
+def test_bench_figure8(benchmark):
+    results = run_once(
+        benchmark, figure8.run,
+        benchmarks=BENCH_SUBSET, measure=MEASURE, warmup=WARMUP,
+    )
+    figure8a = results["figure8a"]
+    # Paper shapes: HALF+FX cuts total energy vs BIG, dominated by the
+    # IQ; LITTLE spends least; the L2 is nearly invisible everywhere.
+    assert sum(figure8a["HALF+FX"].values()) < 1.0
+    assert figure8a["HALF+FX"]["IQ"] < 0.5 * figure8a["BIG"]["IQ"]
+    assert sum(figure8a["LITTLE"].values()) < sum(
+        figure8a["HALF+FX"].values())
+    assert figure8a["BIG"]["L2"] < 0.10
+    figure8b = results["figure8b"]
+    assert figure8b["HALF+FX"]["ixu_static"] > 0.0
+    assert figure8b["BIG"]["ixu_dynamic"] == 0.0

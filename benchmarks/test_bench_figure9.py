@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 9 (area breakdown; analytical)."""
+
+from conftest import run_once
+
+from repro.experiments import figure9
+
+
+def test_bench_figure9(benchmark):
+    results = run_once(benchmark, figure9.run)
+    figure9a = results["figure9a"]
+    total_halffx = sum(figure9a["HALF+FX"].values())
+    # Paper: +2.7 % whole-core growth; L2 ~44 % and FPU ~24 % of it.
+    assert 1.01 < total_halffx < 1.05
+    assert 0.40 < figure9a["HALF+FX"]["L2"] / total_halffx < 0.50
+    assert 0.20 < figure9a["HALF+FX"]["FPU"] / total_halffx < 0.28
+    # Figure 9b: HALF's IQ is a quarter of BIG's.
+    figure9b = results["figure9b"]
+    assert abs(figure9b["HALF"]["IQ"] / figure9b["BIG"]["IQ"]
+               - 0.25) < 1e-9

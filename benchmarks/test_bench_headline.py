@@ -1,0 +1,20 @@
+"""Benchmark regenerating the headline scalar claims."""
+
+from conftest import BENCH_SUBSET, MEASURE, WARMUP, run_once
+
+from repro.experiments import headline
+
+
+def test_bench_headline(benchmark):
+    results = run_once(
+        benchmark, headline.run,
+        benchmarks=BENCH_SUBSET, measure=MEASURE, warmup=WARMUP,
+    )
+    # Directional checks against the abstract's claims.
+    assert results["halffx_energy_vs_big"] < 1.0
+    assert results["halffx_iq_energy_vs_big"] < 0.5
+    assert results["halffx_lsq_energy_vs_big"] < 1.0
+    assert results["halffx_per_vs_big"] > 1.0
+    assert results["little_ipc_vs_big"] < 1.0
+    assert 0.2 < results["ixu_executed_rate_all"] < 0.95
+    assert abs(results["halffx_area_growth"] - 0.027) < 0.01

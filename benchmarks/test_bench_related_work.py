@@ -1,0 +1,33 @@
+"""Benchmarks for the Section VII related-work studies."""
+
+from conftest import BENCH_SUBSET, MEASURE, WARMUP, run_once
+
+from repro.experiments import related_work, reno
+
+
+def test_bench_related_work(benchmark):
+    results = run_once(
+        benchmark, related_work.run,
+        benchmarks=BENCH_SUBSET, measure=MEASURE, warmup=WARMUP,
+    )
+    # Paper VII-A: FXA beats clustering on both axes; naive steering
+    # pays for the chains it splits across clusters.
+    assert results["HALF+FX"]["energy"] < results["CA/dependence"]["energy"]
+    assert (results["CA/roundrobin"]["xforwards"]
+            > results["CA/dependence"]["xforwards"])
+    assert results["BIG"]["xforwards"] == 0.0
+
+
+def test_bench_reno(benchmark):
+    results = run_once(
+        benchmark, reno.run,
+        benchmarks=BENCH_SUBSET, measure=MEASURE, warmup=WARMUP,
+    )
+    # Paper VII-C: RENO composes with FXA — the combination is at least
+    # as good as FXA alone on both axes.
+    assert (results["HALF+FX+RENO"]["ipc"]
+            >= results["HALF+FX"]["ipc"] - 0.01)
+    assert (results["HALF+FX+RENO"]["energy"]
+            <= results["HALF+FX"]["energy"] + 0.005)
+    assert results["BIG+RENO"]["eliminated_per_kinst"] > 0
+    assert results["BIG"]["eliminated_per_kinst"] == 0

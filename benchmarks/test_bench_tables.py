@@ -1,0 +1,18 @@
+"""Benchmarks regenerating Tables I and II."""
+
+from conftest import run_once
+
+from repro.experiments import tables
+
+
+def test_bench_table1(benchmark):
+    grid = run_once(benchmark, tables.table1)
+    assert grid["BIG"]["issue queue"] == "64 entries"
+    assert grid["HALF+FX"]["issue queue"] == "32 entries"
+    assert "IXU" in grid["HALF+FX"]
+
+
+def test_bench_table2(benchmark):
+    rows = run_once(benchmark, tables.table2)
+    assert rows["temperature"] == "320 K"
+    assert "low standby power" in rows["device type (L2)"]

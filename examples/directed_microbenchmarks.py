@@ -1,0 +1,103 @@
+"""Directed microbenchmarks from hand-written traces.
+
+The simulator is trace-driven, so pipeline mechanisms can be probed with
+hand-crafted instruction sequences — the same way architects use directed
+tests.  This example builds three micro-traces, round-trips them through
+the on-disk trace format, and measures each mechanism across models:
+
+1. *FU saturation* — independent ALU ops: BIG caps at its 2 integer FUs,
+   FXA's IXU lifts the ceiling (the libquantum mechanism, Section IV-B1).
+2. *Memory-ordering violation* — a store with a slow address older than a
+   ready load to the same address: speculative issue, squash, replay, and
+   store-set learning (Section II-D3).
+3. *Serial dependence chain* — the paper's stated IXU limit: a long
+   *consecutive* chain exceeds the stage depth, so after the first few
+   links everything falls through to the OXU (Section II-C: "an IXU
+   cannot execute instructions after a long and consecutive chain").
+
+Run:  python examples/directed_microbenchmarks.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import build_core
+from repro.isa import DynInst, OpClass, int_reg
+from repro.workloads import load_trace, save_trace
+
+MODELS = ("BIG", "HALF", "HALF+FX")
+
+
+def fu_saturation_trace(n=3000):
+    return [
+        DynInst(seq=i, pc=0x1000 + 4 * (i % 64), op=OpClass.INT_ALU,
+                dest=int_reg(i % 20), srcs=(int_reg(25 + i % 4),))
+        for i in range(n)
+    ]
+
+
+def violation_trace(repeats=30):
+    trace = []
+    for i in range(repeats):
+        base = 4 * i
+        trace.extend([
+            DynInst(seq=base, pc=0x1000, op=OpClass.INT_DIV,
+                    dest=int_reg(1), srcs=(int_reg(25),)),
+            DynInst(seq=base + 1, pc=0x1004, op=OpClass.STORE,
+                    srcs=(int_reg(1), int_reg(26)),
+                    mem_addr=0x8000 + 64 * i, mem_size=8),
+            DynInst(seq=base + 2, pc=0x1008, op=OpClass.LOAD,
+                    dest=int_reg(4), srcs=(int_reg(27),),
+                    mem_addr=0x8000 + 64 * i, mem_size=8),
+            DynInst(seq=base + 3, pc=0x100c, op=OpClass.INT_ALU,
+                    dest=int_reg(5), srcs=(int_reg(4),)),
+        ])
+    return trace
+
+
+def serial_chain_trace(n=2000):
+    return [
+        DynInst(seq=i, pc=0x1000 + 4 * (i % 64), op=OpClass.INT_ALU,
+                dest=int_reg(1), srcs=(int_reg(1),))
+        for i in range(n)
+    ]
+
+
+def run_all(name, trace):
+    print(f"== {name} ({len(trace)} instructions)")
+    for model in MODELS:
+        stats = build_core(model).run(trace)
+        extras = []
+        if stats.violations:
+            extras.append(f"violations={stats.violations}")
+        if stats.ixu_executed:
+            extras.append(f"ixu={stats.ixu_executed_rate:.0%}")
+        print(f"   {model:8s} IPC={stats.ipc:5.2f}  "
+              + " ".join(extras))
+    print()
+
+
+def main() -> None:
+    traces = {
+        "FU saturation": fu_saturation_trace(),
+        "ordering violation + store-set learning": violation_trace(),
+        "serial dependence chain": serial_chain_trace(),
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, trace in traces.items():
+            # Round-trip through the trace file format.
+            path = Path(tmp) / f"{name.split()[0].lower()}.trace"
+            save_trace(trace, path)
+            run_all(name, load_trace(path))
+    print("Observations: the IXU raises the independent-ALU ceiling "
+          "past BIG's two integer units; the violation trace squashes "
+          "once until the store-set predictor learns the pair; and the "
+          "strictly serial chain runs at the same one-per-cycle on "
+          "every model — after the first few links it exceeds the IXU "
+          "depth and executes in the OXU, the limitation Section II-C "
+          "states explicitly (crucially, it flows through the IXU as "
+          "NOPs without stalling the front end).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — reproduction of "A Front-end Execution Architecture for High
+Energy Efficiency" (Shioya, Goshima, Ando; MICRO-47, 2014).
+
+A cycle-level processor-simulation library: conventional out-of-order and
+in-order superscalar cores, the paper's FXA core with its in-order
+execution unit (IXU), synthetic SPEC CPU2006-like workloads, a McPAT-like
+energy/area model, and a harness regenerating every table and figure of
+the paper's evaluation.
+
+Quick start::
+
+    from repro import build_core, generate_trace
+
+    core = build_core("HALF+FX")        # the paper's proposal
+    stats = core.run(generate_trace("libquantum", 10_000))
+    print(stats.summary(), stats.ixu_executed_rate)
+
+See ``examples/`` for full scenarios and ``repro.experiments`` for the
+per-figure regenerators.
+"""
+
+from repro.core import (
+    CoreConfig,
+    CoreStats,
+    FXACore,
+    IXUConfig,
+    InOrderCore,
+    MODEL_NAMES,
+    OutOfOrderCore,
+    SimulationError,
+    build_core,
+    model_config,
+)
+from repro.energy import (
+    AreaModel,
+    Component,
+    EnergyBreakdown,
+    EnergyModel,
+)
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    BenchmarkProfile,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    Mix,
+    generate_trace,
+    get_profile,
+    list_benchmarks,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "CoreStats",
+    "FXACore",
+    "IXUConfig",
+    "InOrderCore",
+    "MODEL_NAMES",
+    "OutOfOrderCore",
+    "SimulationError",
+    "build_core",
+    "model_config",
+    "AreaModel",
+    "Component",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "ALL_BENCHMARKS",
+    "BenchmarkProfile",
+    "FP_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "Mix",
+    "generate_trace",
+    "get_profile",
+    "list_benchmarks",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Out-of-order backend structures.
+
+These are the structures the paper's energy argument targets: the issue
+queue and load/store queue are built from heavily multi-ported CAMs/RAMs
+whose per-access energy scales with capacity × ports, and FXA shrinks both
+the structures and their access counts.  Each structure therefore counts
+its access events precisely; the energy model prices them later.
+"""
+
+from repro.backend.rob import ReorderBuffer
+from repro.backend.issue_queue import IssueQueue
+from repro.backend.lsq import LoadStoreQueue, LSQStats
+from repro.backend.store_sets import StoreSetPredictor
+from repro.backend.fu import FUPool
+from repro.backend.bypass import BypassNetwork
+
+__all__ = [
+    "ReorderBuffer",
+    "IssueQueue",
+    "LoadStoreQueue",
+    "LSQStats",
+    "StoreSetPredictor",
+    "FUPool",
+    "BypassNetwork",
+]

@@ -1,0 +1,56 @@
+"""Functional-unit pools with per-cycle issue-port modelling.
+
+Each pool owns N identical units.  Pipelined ops occupy a unit's issue
+port for one cycle; divides are unpipelined and hold their unit busy for
+the full latency.  Execution counts feed the energy model (the paper's
+point: total FU op counts barely change between models — Section V-A1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.opclass import FUType, LATENCY, OpClass
+
+#: Unpipelined ops hold their unit for the whole latency.
+_UNPIPELINED = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
+
+
+class FUPool:
+    """A pool of identical functional units of one type."""
+
+    def __init__(self, fu_type: FUType, count: int):
+        if count < 0:
+            raise ValueError("FU count cannot be negative")
+        self.fu_type = fu_type
+        self.count = count
+        self._busy_until: List[int] = [0] * count
+        self._issued_at: Dict[int, int] = {}
+        self.executions = 0
+
+    def available(self, cycle: int) -> int:
+        """Units able to accept a new op this cycle."""
+        free_units = sum(1 for b in self._busy_until if b <= cycle)
+        return max(0, free_units - self._issued_at.get(cycle, 0))
+
+    def try_issue(self, op: OpClass, cycle: int) -> bool:
+        """Claim a unit for ``op`` at ``cycle``; False when none free."""
+        if self.available(cycle) <= 0:
+            return False
+        self._issued_at[cycle] = self._issued_at.get(cycle, 0) + 1
+        if op in _UNPIPELINED:
+            # Occupy the soonest-free unit for the whole operation.
+            unit = min(
+                range(self.count), key=lambda i: self._busy_until[i]
+            )
+            self._busy_until[unit] = cycle + LATENCY[op]
+        self.executions += 1
+        self._prune(cycle)
+        return True
+
+    def _prune(self, cycle: int) -> None:
+        """Drop per-cycle issue counters older than ``cycle``."""
+        if len(self._issued_at) > 64:
+            self._issued_at = {
+                c: n for c, n in self._issued_at.items() if c >= cycle
+            }

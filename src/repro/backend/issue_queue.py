@@ -1,0 +1,80 @@
+"""Issue queue: bounded, age-ordered window with event accounting.
+
+The core owns the select loop (operand readiness and FU arbitration are
+cross-cutting); the queue provides ordered storage, occupancy limits and
+the access counters the energy model prices:
+
+* ``dispatches`` — CAM/RAM writes when an instruction enters;
+* ``issues`` — payload-RAM reads when one leaves;
+* ``wakeup_broadcasts`` — tag broadcasts, one per completing producer;
+* ``wakeup_cam_compares`` — broadcast × live entries, the dominant
+  CAM-search energy term.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+class IssueQueue:
+    """Age-ordered issue queue (Table I: 64 entries BIG, 32 HALF)."""
+
+    def __init__(self, capacity: int, issue_width: int):
+        if capacity <= 0 or issue_width <= 0:
+            raise ValueError("capacity and issue width must be positive")
+        self.capacity = capacity
+        self.issue_width = issue_width
+        self._entries: List = []
+        self.dispatches = 0
+        self.issues = 0
+        self.wakeup_broadcasts = 0
+        self.wakeup_cam_compares = 0
+        self._occupancy_accum = 0
+        self._occupancy_samples = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator:
+        """Iterate entries oldest-first (age-ordered select)."""
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def dispatch(self, entry) -> None:
+        """Insert a renamed instruction (IQ write)."""
+        if self.full:
+            raise RuntimeError("issue queue overflow")
+        self._entries.append(entry)
+        self.dispatches += 1
+
+    def issue(self, entry) -> None:
+        """Remove ``entry`` on issue (payload read)."""
+        self._entries.remove(entry)
+        self.issues += 1
+
+    def broadcast_wakeup(self) -> None:
+        """A producer completed: tag broadcast against all live entries."""
+        self.wakeup_broadcasts += 1
+        self.wakeup_cam_compares += len(self._entries)
+
+    def squash_younger_than(self, seq: int) -> None:
+        """Drop squashed entries."""
+        self._entries = [e for e in self._entries if e.seq <= seq]
+
+    def sample_occupancy(self) -> None:
+        """Record occupancy once per cycle (for reporting)."""
+        self._occupancy_accum += len(self._entries)
+        self._occupancy_samples += 1
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self._occupancy_samples:
+            return 0.0
+        return self._occupancy_accum / self._occupancy_samples

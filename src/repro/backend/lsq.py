@@ -1,0 +1,160 @@
+"""Load/store queue with FXA's access-omission rules.
+
+The LSQ itself is the conventional one (paper Section II-D3): loads search
+older stores for forwarding, stores search younger executed loads for
+order violations, and both record their addresses.  FXA changes only *who*
+accesses it and *which* accesses can be skipped:
+
+1. A store executed in the IXU has no younger executed load, so the
+   violation search is omitted.
+2. A load executed in the IXU whose older stores have all executed can
+   never be the victim of a violation, so writing it into the LSQ is
+   omitted.
+
+Both omissions are counted; the energy model turns them into the LSQ
+energy reduction of Figure 8a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class LSQStats:
+    """LSQ access counters for the energy model."""
+
+    load_writes: int = 0
+    store_writes: int = 0
+    forward_searches: int = 0       # load searching older stores
+    violation_searches: int = 0     # store searching younger loads
+    omitted_load_writes: int = 0
+    omitted_violation_searches: int = 0
+    forwarded_loads: int = 0
+    violations: int = 0
+
+    @property
+    def searches(self) -> int:
+        return self.forward_searches + self.violation_searches
+
+    @property
+    def writes(self) -> int:
+        return self.load_writes + self.store_writes
+
+
+class LoadStoreQueue:
+    """Split load/store queues (Table I: 32 loads / 32 stores).
+
+    Entries are the core's in-flight records and must expose ``seq``,
+    ``inst`` (a :class:`~repro.isa.DynInst`), ``mem_executed`` and
+    ``lsq_written`` attributes.
+    """
+
+    def __init__(self, load_capacity: int = 32, store_capacity: int = 32):
+        self.load_capacity = load_capacity
+        self.store_capacity = store_capacity
+        self._loads: List = []
+        self._stores: List = []
+        self.stats = LSQStats()
+
+    # ---------------- occupancy ----------------
+
+    @property
+    def loads_free(self) -> int:
+        return self.load_capacity - len(self._loads)
+
+    @property
+    def stores_free(self) -> int:
+        return self.store_capacity - len(self._stores)
+
+    def insert_load(self, entry) -> None:
+        """Allocate a load-queue slot at rename (no data written yet)."""
+        if not self.loads_free:
+            raise RuntimeError("load queue overflow")
+        self._loads.append(entry)
+
+    def insert_store(self, entry) -> None:
+        """Allocate a store-queue slot at rename."""
+        if not self.stores_free:
+            raise RuntimeError("store queue overflow")
+        self._stores.append(entry)
+
+    # ---------------- execution-time accesses ----------------
+
+    def older_stores_all_executed(self, load_entry) -> bool:
+        """True when every store older than the load has executed."""
+        return all(
+            s.mem_executed for s in self._stores
+            if s.seq < load_entry.seq
+        )
+
+    def execute_load(self, entry, in_ixu: bool) -> bool:
+        """Perform the LSQ side of a load's execution.
+
+        Searches older executed stores for a same-address forward, then
+        records the load (unless the FXA omission applies).
+
+        Returns:
+            True when the load's data is forwarded from the store queue.
+        """
+        self.stats.forward_searches += 1
+        forwarded = any(
+            s.mem_executed
+            and s.seq < entry.seq
+            and s.inst.mem_addr == entry.inst.mem_addr
+            for s in self._stores
+        )
+        if forwarded:
+            self.stats.forwarded_loads += 1
+        if in_ixu and self.older_stores_all_executed(entry):
+            # Paper omission 2: the load can never be a violation victim.
+            self.stats.omitted_load_writes += 1
+            entry.lsq_written = False
+        else:
+            self.stats.load_writes += 1
+            entry.lsq_written = True
+        entry.mem_executed = True
+        return forwarded
+
+    def execute_store(self, entry, in_ixu: bool):
+        """Perform the LSQ side of a store's execution.
+
+        Writes address+data, and — unless executed in the IXU (paper
+        omission 1) — searches younger executed loads for an ordering
+        violation.
+
+        Returns:
+            The oldest violating load entry, or None.
+        """
+        self.stats.store_writes += 1
+        entry.mem_executed = True
+        if in_ixu:
+            self.stats.omitted_violation_searches += 1
+            return None
+        self.stats.violation_searches += 1
+        violators = [
+            load for load in self._loads
+            if load.lsq_written
+            and load.mem_executed
+            and load.seq > entry.seq
+            and load.inst.mem_addr == entry.inst.mem_addr
+        ]
+        if not violators:
+            return None
+        self.stats.violations += 1
+        return min(violators, key=lambda load: load.seq)
+
+    # ---------------- retire / squash ----------------
+
+    def commit(self, entry) -> None:
+        """Free the entry's slot at commit."""
+        if entry.inst.is_load:
+            self._loads.remove(entry)
+        else:
+            self._stores.remove(entry)
+
+    def squash_younger_than(self, seq: int) -> None:
+        """Drop all squashed entries."""
+        self._loads = [e for e in self._loads if e.seq <= seq]
+        self._stores = [e for e in self._stores if e.seq <= seq]

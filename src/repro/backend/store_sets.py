@@ -1,0 +1,85 @@
+"""Store-set memory dependence predictor (Chrysos & Emer, ISCA '98).
+
+FXA assumes loads/stores issue speculatively from the IQ under a
+dependence predictor rather than from the LSQ (paper Section II-D3).
+The classic two-table design:
+
+* SSIT (store-set id table): PC-indexed; loads and stores that violated
+  together share a store-set id.
+* LFST (last fetched store table): per set, the most recent in-flight
+  store; a load in the set must wait for it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class StoreSetPredictor:
+    """SSIT + LFST with cyclic set-id merging on violations."""
+
+    def __init__(self, ssit_entries: int = 2048):
+        if ssit_entries & (ssit_entries - 1):
+            raise ValueError("SSIT size must be a power of two")
+        self._mask = ssit_entries - 1
+        self._ssit: Dict[int, int] = {}
+        self._lfst: Dict[int, object] = {}
+        self._next_set_id = 0
+        self.violations_trained = 0
+        self.dependencies_enforced = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def _set_of(self, pc: int) -> Optional[int]:
+        return self._ssit.get(self._index(pc))
+
+    # ---------------- front-end hooks ----------------
+
+    def store_dispatched(self, pc: int, entry) -> None:
+        """A store entered the window: it becomes its set's last store."""
+        set_id = self._set_of(pc)
+        if set_id is not None:
+            self._lfst[set_id] = entry
+
+    def load_dependency(self, pc: int):
+        """Return the in-flight store this load must wait for, or None."""
+        set_id = self._set_of(pc)
+        if set_id is None:
+            return None
+        store = self._lfst.get(set_id)
+        if store is not None:
+            self.dependencies_enforced += 1
+        return store
+
+    # ---------------- execution hooks ----------------
+
+    def store_executed(self, pc: int, entry) -> None:
+        """Clear the LFST slot once its store has executed."""
+        set_id = self._set_of(pc)
+        if set_id is not None and self._lfst.get(set_id) is entry:
+            del self._lfst[set_id]
+
+    def store_squashed(self, pc: int, entry) -> None:
+        """Remove a squashed store from the LFST."""
+        self.store_executed(pc, entry)
+
+    def train_violation(self, load_pc: int, store_pc: int) -> None:
+        """Merge the violating load and store into one store set."""
+        self.violations_trained += 1
+        load_set = self._set_of(load_pc)
+        store_set = self._set_of(store_pc)
+        if load_set is None and store_set is None:
+            set_id = self._next_set_id
+            self._next_set_id += 1
+            self._ssit[self._index(load_pc)] = set_id
+            self._ssit[self._index(store_pc)] = set_id
+        elif load_set is None:
+            self._ssit[self._index(load_pc)] = store_set
+        elif store_set is None:
+            self._ssit[self._index(store_pc)] = load_set
+        else:
+            # Both assigned: converge on the smaller id (cyclic merge).
+            winner = min(load_set, store_set)
+            self._ssit[self._index(load_pc)] = winner
+            self._ssit[self._index(store_pc)] = winner

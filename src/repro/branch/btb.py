@@ -1,0 +1,54 @@
+"""Branch target buffer: set-associative PC-to-target cache."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+
+class BTB:
+    """Set-associative branch target buffer with LRU replacement.
+
+    The paper's models use 512 entries; we default to 4-way.
+    """
+
+    def __init__(self, entries: int = 512, ways: int = 4):
+        if entries % ways:
+            raise ValueError("entries must be a multiple of ways")
+        self._ways = ways
+        self._num_sets = entries // ways
+        if self._num_sets & (self._num_sets - 1):
+            raise ValueError("entries/ways must be a power of two")
+        # Each set maps tag -> target, ordered oldest-first for LRU.
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self._num_sets)
+        ]
+
+    @property
+    def entries(self) -> int:
+        """Total capacity (for energy accounting)."""
+        return self._num_sets * self._ways
+
+    def _locate(self, pc: int):
+        index = (pc >> 2) & (self._num_sets - 1)
+        tag = pc >> 2
+        return self._sets[index], tag
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Return the cached target for ``pc``, or None on a BTB miss."""
+        entry_set, tag = self._locate(pc)
+        target = entry_set.get(tag)
+        if target is not None:
+            entry_set.move_to_end(tag)
+        return target
+
+    def update(self, pc: int, target: int) -> None:
+        """Install or refresh the target for a taken branch at ``pc``."""
+        entry_set, tag = self._locate(pc)
+        if tag in entry_set:
+            entry_set[tag] = target
+            entry_set.move_to_end(tag)
+            return
+        if len(entry_set) >= self._ways:
+            entry_set.popitem(last=False)
+        entry_set[tag] = target

@@ -1,0 +1,40 @@
+"""Return-address stack for call/return target prediction."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address stack.
+
+    Overflow wraps (oldest entry is overwritten) and underflow returns
+    None, matching hardware RAS behaviour.
+    """
+
+    def __init__(self, depth: int = 16):
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self._depth = depth
+        self._stack: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def push(self, return_pc: int) -> None:
+        """Push the address the matching return should land on."""
+        if len(self._stack) >= self._depth:
+            del self._stack[0]
+        self._stack.append(return_pc)
+
+    def pop(self) -> Optional[int]:
+        """Pop the predicted return target; None when empty."""
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> Optional[int]:
+        """Look at the top entry without popping."""
+        if not self._stack:
+            return None
+        return self._stack[-1]

@@ -1,0 +1,52 @@
+"""Core models: configurations and the three pipeline implementations.
+
+* :class:`OutOfOrderCore` — the conventional physical-register-file
+  superscalar of Figure 1 (models BIG and HALF).
+* :class:`InOrderCore` — the little in-order superscalar (LITTLE).
+* :class:`FXACore` — the paper's contribution: an out-of-order core with
+  an in-order execution unit in the front end (BIG+FX / HALF+FX).
+
+Presets mirror Table I; ``build_core("HALF+FX")`` returns a ready model.
+"""
+
+from repro.core.config import ClusterConfig, CoreConfig, IXUConfig
+from repro.core.inflight import InFlight
+from repro.core.stats import CoreStats, EventCounts
+from repro.core.ooo import OutOfOrderCore, SimulationError
+from repro.core.inorder import InOrderCore
+from repro.core.clustered import ClusteredCore
+from repro.core.fxa import FXACore
+from repro.core.presets import (
+    MODEL_NAMES,
+    big_config,
+    ca_config,
+    big_fx_config,
+    build_core,
+    half_config,
+    half_fx_config,
+    little_config,
+    model_config,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusteredCore",
+    "CoreConfig",
+    "IXUConfig",
+    "ca_config",
+    "InFlight",
+    "CoreStats",
+    "EventCounts",
+    "OutOfOrderCore",
+    "InOrderCore",
+    "FXACore",
+    "SimulationError",
+    "MODEL_NAMES",
+    "big_config",
+    "half_config",
+    "little_config",
+    "big_fx_config",
+    "half_fx_config",
+    "build_core",
+    "model_config",
+]

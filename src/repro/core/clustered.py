@@ -1,0 +1,171 @@
+"""Clustered out-of-order core — the paper's related-work comparator.
+
+Section VII-A contrasts FXA with clustered architectures (CA) such as the
+Alpha 21264: both add execution bandwidth, but CA's clusters have no order
+relation, so it needs (1) cross-cluster operand bypassing and wakeup with
+extra latency, and (2) instruction steering to keep dependent chains
+together.  FXA avoids both because the IXU and OXU are in series.
+
+This model implements CA faithfully enough to reproduce that argument:
+
+* each cluster owns private integer FUs and issue slots (memory and FP
+  units remain shared, as on the 21264);
+* a value consumed in its producer's cluster is bypassed normally; a
+  value crossing clusters arrives ``inter_cluster_delay`` cycles later
+  and is counted as an inter-cluster forward (priced like a longer
+  result wire by the energy model);
+* dependence steering places an instruction in its first producer's
+  cluster when possible, falling back to the least-loaded cluster;
+  round-robin steering is the strawman the paper alludes to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.backend import FUPool
+from repro.core.config import CoreConfig
+from repro.core.inflight import InFlight
+from repro.core.ooo import OutOfOrderCore
+from repro.isa.opclass import FUType, FU_FOR_OPCLASS
+from repro.isa.registers import RegClass
+
+
+class ClusteredCore(OutOfOrderCore):
+    """Alpha 21264-style clustered out-of-order core."""
+
+    def __init__(self, config: CoreConfig):
+        if config.clusters is None:
+            raise ValueError("ClusteredCore requires a cluster config")
+        super().__init__(config)
+        clusters = config.clusters
+        self.cluster_config = clusters
+        # Private integer FU pools per cluster; MEM/FP stay shared.
+        self.cluster_int_fus: List[FUPool] = [
+            FUPool(FUType.INT, clusters.int_fus_per_cluster)
+            for _ in range(clusters.count)
+        ]
+        # Producing cluster of each in-flight physical register.
+        self._preg_cluster: Dict[Tuple[RegClass, int], int] = {}
+        # Rolling occupancy estimate for least-loaded steering.
+        self._steer_load: List[int] = [0] * clusters.count
+        self._roundrobin_next = 0
+        self.intercluster_forwards = 0
+        self.issued_per_cluster: List[int] = [0] * clusters.count
+
+    # ------------------------------------------------------------------
+    # Steering (at rename/dispatch)
+    # ------------------------------------------------------------------
+
+    def _steer(self, entry: InFlight) -> int:
+        clusters = self.cluster_config
+        if clusters.steering == "roundrobin":
+            cluster = self._roundrobin_next
+            self._roundrobin_next = (cluster + 1) % clusters.count
+            return cluster
+        # Dependence steering: follow the first in-flight producer —
+        # unless that cluster is badly overloaded (21264-style steering
+        # balances too, or throughput-bound code piles onto one side).
+        least = min(range(clusters.count),
+                    key=lambda c: self._steer_load[c])
+        for cls, preg in entry.renamed.srcs:
+            producer_cluster = self._preg_cluster.get((cls, preg))
+            if producer_cluster is None:
+                continue
+            if (self._steer_load[producer_cluster]
+                    <= self._steer_load[least] + 6):
+                return producer_cluster
+            break
+        return least
+
+    def _after_rename(self, entry: InFlight) -> None:
+        super()._after_rename(entry)
+        entry.cluster = self._steer(entry)
+        self._steer_load[entry.cluster] += 1
+        renamed = entry.renamed
+        if renamed.dest is not None:
+            self._preg_cluster[(renamed.dest_cls, renamed.dest)] = (
+                entry.cluster
+            )
+
+    # ------------------------------------------------------------------
+    # Issue: per-cluster widths, private INT FUs, cross-cluster latency
+    # ------------------------------------------------------------------
+
+    def _srcs_ready(self, entry: InFlight, cycle: int) -> bool:
+        delay = self.cluster_config.inter_cluster_delay
+        prf = self.renamer.prf
+        for cls, preg in entry.renamed.srcs:
+            ready = prf[cls].ready_cycle(preg)
+            producer_cluster = self._preg_cluster.get((cls, preg))
+            if (producer_cluster is not None
+                    and producer_cluster != entry.cluster):
+                ready += delay
+            if ready > cycle:
+                return False
+        return True
+
+    def _issue(self) -> None:
+        cycle = self.cycle
+        per_cluster = [0] * self.cluster_config.count
+        width = self.cluster_config.issue_width_per_cluster
+        issued_total = 0
+        for entry in list(self.iq):
+            if issued_total >= self.config.issue_width:
+                break
+            if entry.squashed or entry.issued:
+                continue
+            if entry.issue_ready > cycle:
+                continue
+            cluster = entry.cluster
+            if per_cluster[cluster] >= width:
+                continue
+            if not self._srcs_ready(entry, cycle):
+                continue
+            inst = entry.inst
+            if inst.is_load and not self._load_dependence_clear(entry):
+                continue
+            fu_type = FU_FOR_OPCLASS[inst.op]
+            if fu_type is FUType.INT:
+                if not self.cluster_int_fus[cluster].try_issue(
+                        inst.op, cycle):
+                    continue
+            elif not self.fu[fu_type].try_issue(inst.op, cycle):
+                continue
+            self.iq.issue(entry)
+            entry.issued = True
+            per_cluster[cluster] += 1
+            issued_total += 1
+            self.issued_per_cluster[cluster] += 1
+            self._count_cross_cluster(entry)
+            self._steer_load[cluster] = max(
+                0, self._steer_load[cluster] - 1)
+            self._execute(entry, cycle, in_ixu=False)
+            if entry.squashed:
+                break
+
+    def _count_cross_cluster(self, entry: InFlight) -> None:
+        for cls, preg in entry.renamed.srcs:
+            producer_cluster = self._preg_cluster.get((cls, preg))
+            if (producer_cluster is not None
+                    and producer_cluster != entry.cluster):
+                self.intercluster_forwards += 1
+
+    # ------------------------------------------------------------------
+    # Cleanup
+    # ------------------------------------------------------------------
+
+    def _squash_hook(self, boundary_seq: int) -> None:
+        # Squashed producers' pregs went back to the free lists and may
+        # be re-allocated to any cluster; drop their stale mappings.
+        for (cls, preg) in list(self._preg_cluster):
+            if preg in self.renamer.free[cls]:
+                del self._preg_cluster[(cls, preg)]
+
+    def _collect_events(self) -> None:
+        super()._collect_events()
+        events = self.stats.events
+        events.fu_int_ops += sum(
+            pool.executions for pool in self.cluster_int_fus
+        )
+        events.intercluster_forwards = self.intercluster_forwards

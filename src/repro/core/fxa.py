@@ -1,0 +1,270 @@
+"""FXA: an out-of-order core with an in-order execution unit (Figure 2).
+
+The FXA pipeline extends the conventional one with, between rename and
+dispatch:
+
+1. a **front-end register-read stage** — the PRF scoreboard is read
+   first and the PRF only for available values (sequential access,
+   Section III-B), which costs one extra pipeline stage;
+2. the **IXU stages** — in-order FUs with a bypass network.  An
+   instruction executes in the IXU the first cycle all of its operands
+   are reachable (captured at register read, or bypassed from an older
+   IXU-executed instruction) and a stage FU is free; otherwise it flows
+   through as a NOP and dispatches to the issue queue.
+
+Memory operations execute in the IXU only when the OXU leaves a memory
+port free that cycle (OXU has priority, Section II-D3); IXU-executed
+stores skip the violation search and IXU loads whose older stores have
+all executed skip the LSQ write.  Branches resolved in the IXU redirect
+fetch from the front end, roughly halving the misprediction penalty;
+instructions that fall through to the OXU pay the IXU depth on top of
+the baseline penalty (Section IV-B2).
+
+The scoreboard is read twice per instruction (Section III-C): once
+before the IXU and again at dispatch, so instructions whose producers
+completed in the OXU during their IXU transit enter the IQ marked ready.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.core.config import CoreConfig
+from repro.core.inflight import InFlight
+from repro.core.ooo import OutOfOrderCore
+from repro.backend import BypassNetwork
+from repro.isa.opclass import FUType, IXU_ELIGIBLE
+from repro.ixu.pipeline import BypassRegistry, StageFUUsage
+
+
+class FXACore(OutOfOrderCore):
+    """Front-end execution architecture (BIG+FX / HALF+FX)."""
+
+    def __init__(self, config: CoreConfig):
+        if config.ixu is None:
+            raise ValueError("FXACore requires an IXU configuration")
+        super().__init__(config)
+        ixu = config.ixu
+        self.ixu_config = ixu
+        self.ixu_bypass = BypassNetwork("ixu", ixu.total_fus)
+        self._bypass_registry = BypassRegistry(
+            depth=ixu.depth, stage_limit=ixu.bypass_stage_limit
+        )
+        self._stage_usage = StageFUUsage(ixu.stage_fus)
+        self._regread_q: Deque[InFlight] = deque()
+        self._ixu_pipe: List[InFlight] = []   # program order, pos 0..depth-1
+        self._exit_q: Deque[InFlight] = deque()
+        self._ixu_exec_count = 0              # includes squashed replays
+        self._ixu_mem_exec_count = 0
+
+    # ------------------------------------------------------------------
+    # Rename plumbing: no IQ reservation; stall on front-end backlog.
+    # ------------------------------------------------------------------
+
+    def _iq_slot_available(self, entry: InFlight) -> bool:
+        # The IQ is checked at IXU exit; rename stalls only when the
+        # register-read stage backs up (i.e. the IXU pipe is stalled).
+        return len(self._regread_q) < 2 * self.config.rename_width
+
+    def _after_rename(self, entry: InFlight) -> None:
+        entry.dispatch_cycle = self.cycle + 1  # register-read stage
+        self._regread_q.append(entry)
+
+    # ------------------------------------------------------------------
+    # The dispatch phase runs the whole front-end execution pipeline.
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        stalled = not self._drain_exit_queue()
+        if not stalled:
+            self._run_ixu_stages()
+            self._advance_pipe()
+            self._enter_pipe()
+        self._bypass_registry.prune(self.cycle)
+
+    def _drain_exit_queue(self) -> bool:
+        """Dispatch IXU-exiting instructions; False when the IQ blocks."""
+        dispatched = 0
+        while self._exit_q and dispatched < self.config.rename_width:
+            entry = self._exit_q[0]
+            if entry.dispatch_cycle > self.cycle:
+                break
+            if entry.squashed:
+                self._exit_q.popleft()
+                continue
+            if entry.executed_in_ixu:
+                self._exit_q.popleft()
+                dispatched += 1
+                continue
+            if self.iq.full:
+                return False  # structural stall: hold the whole pipe
+            self._exit_q.popleft()
+            # Second scoreboard read (Section III-C): operands that became
+            # ready in the OXU during IXU transit dispatch as ready.
+            for cls, preg in entry.renamed.srcs:
+                self.renamer.scoreboard[cls].is_ready(preg, self.cycle)
+            self.iq.dispatch(entry)
+            entry.issue_ready = self.cycle + self.config.dispatch_to_issue
+            dispatched += 1
+        if self._exit_q and self._exit_q[0].dispatch_cycle <= self.cycle:
+            return False  # leftovers: pipe holds this cycle
+        return True
+
+    def _run_ixu_stages(self) -> None:
+        """Attempt execution for every live instruction in the IXU."""
+        cycle = self.cycle
+        for entry in self._ixu_pipe:
+            if entry.squashed or entry.executed_in_ixu:
+                continue
+            self._try_ixu_execute(entry, cycle)
+
+    def _try_ixu_execute(self, entry: InFlight, cycle: int) -> bool:
+        inst = entry.inst
+        if inst.op not in IXU_ELIGIBLE:
+            return False
+        ixu = self.ixu_config
+        if inst.is_branch and not ixu.execute_branches:
+            return False
+        if inst.is_mem and not ixu.execute_mem_ops:
+            return False
+        pos = entry.ixu_pos
+        # Operand reachability: captured at register read, or IXU bypass.
+        captured = entry.regread_captured
+        for index, (cls, preg) in enumerate(entry.renamed.srcs):
+            if captured[index]:
+                continue
+            if not self._bypass_registry.available(cls, preg, cycle, pos):
+                return False
+        if inst.is_load and not self._load_dependence_clear(entry):
+            return False
+        # Structural: a free FU at this stage...
+        if not self._stage_usage.try_use(cycle, pos):
+            return False
+        # ...and, for memory ops, a memory port the OXU left free (the
+        # OXU issued earlier this cycle, giving it priority).
+        if inst.is_mem:
+            if not self.fu[FUType.MEM].try_issue(inst.op, cycle):
+                return False
+        entry.executed_in_ixu = True
+        entry.ixu_exec_cycle = cycle
+        entry.ixu_exec_stage = pos
+        entry.ixu_category = "a" if all(captured) else "b"
+        self._ixu_exec_count += 1
+        if inst.is_mem:
+            self._ixu_mem_exec_count += 1
+        self._execute(entry, cycle, in_ixu=True)
+        renamed = entry.renamed
+        if renamed.dest is not None:
+            self._bypass_registry.record(
+                renamed.dest_cls, renamed.dest, entry,
+                exec_cycle=cycle, exec_pos=pos,
+                value_ready=entry.complete_cycle,
+            )
+        return True
+
+    def _advance_pipe(self) -> None:
+        """Move every in-pipe instruction one stage; exit the last."""
+        depth = self.ixu_config.depth
+        remaining: List[InFlight] = []
+        for entry in self._ixu_pipe:
+            if entry.squashed:
+                continue
+            entry.ixu_pos += 1
+            if entry.ixu_pos >= depth:
+                entry.dispatch_cycle = self.cycle + 1
+                self._exit_q.append(entry)
+            else:
+                remaining.append(entry)
+        self._ixu_pipe = remaining
+
+    def _enter_pipe(self) -> None:
+        """Register-read stage: capture available operands, enter stage 0."""
+        width = self.config.rename_width
+        entered = 0
+        while self._regread_q and entered < width:
+            entry = self._regread_q[0]
+            if entry.dispatch_cycle > self.cycle:  # regread not due yet
+                break
+            self._regread_q.popleft()
+            if entry.squashed:
+                continue
+            captured = []
+            for cls, preg in entry.renamed.srcs:
+                # Sequential scoreboard-then-PRF access (Section III-B):
+                # the PRF is read only for available values, and only
+                # through a shared port the OXU left free this cycle
+                # (OXU priority, Section II-A).  A value missed here can
+                # still arrive via IXU bypassing or the issue queue.
+                if (
+                    self.renamer.scoreboard[cls].is_ready(preg,
+                                                          self.cycle)
+                    and self._prf_port_free(self.cycle)
+                ):
+                    self.renamer.prf[cls].read(preg)
+                    self._claim_prf_port(self.cycle)
+                    captured.append(True)
+                else:
+                    captured.append(False)
+            entry.regread_captured = tuple(captured)
+            entry.ixu_pos = 0
+            entry.ixu_exec_cycle = -1
+            self._ixu_pipe.append(entry)
+            entered += 1
+
+    # ------------------------------------------------------------------
+    # Hooks into the base pipeline
+    # ------------------------------------------------------------------
+
+    def _bypass_network(self, in_ixu: bool) -> BypassNetwork:
+        return self.ixu_bypass if in_ixu else self.oxu_bypass
+
+    def _squash_hook(self, boundary_seq: int) -> None:
+        for entry in self._regread_q:
+            if entry.seq > boundary_seq:
+                entry.squashed = True
+        for entry in self._ixu_pipe:
+            if entry.seq > boundary_seq:
+                entry.squashed = True
+        for entry in self._exit_q:
+            if entry.seq > boundary_seq:
+                entry.squashed = True
+        self._regread_q = deque(
+            e for e in self._regread_q if not e.squashed
+        )
+        self._ixu_pipe = [e for e in self._ixu_pipe if not e.squashed]
+        self._exit_q = deque(e for e in self._exit_q if not e.squashed)
+        self._bypass_registry.drop_squashed()
+
+    def _on_commit(self, entry: InFlight) -> None:
+        if not entry.executed_in_ixu:
+            return
+        stats = self.stats
+        stats.ixu_executed += 1
+        if entry.ixu_category == "a":
+            stats.ixu_category_a += 1
+        else:
+            stats.ixu_category_b += 1
+        stage = entry.ixu_exec_stage
+        stats.ixu_by_stage[stage] = stats.ixu_by_stage.get(stage, 0) + 1
+        if entry.inst.is_mem:
+            stats.ixu_mem_ops += 1
+        if entry.inst.is_branch:
+            stats.ixu_branches += 1
+
+    def _prf_write_cycle(self, entry: InFlight) -> int:
+        """IXU results reach the PRF only after exiting the IXU
+        (paper Section II-B), not when they become bypassable."""
+        if not entry.executed_in_ixu:
+            return super()._prf_write_cycle(entry)
+        exit_cycle = entry.ixu_exec_cycle + (
+            self.ixu_config.depth - entry.ixu_exec_stage
+        )
+        return max(entry.complete_cycle, exit_cycle) + 1
+
+    def _collect_events(self) -> None:
+        super()._collect_events()
+        events = self.stats.events
+        events.ixu_ops = self._ixu_exec_count
+        events.ixu_mem_ops = self._ixu_mem_exec_count
+        events.ixu_bypass_broadcasts = self.ixu_bypass.broadcasts

@@ -1,0 +1,88 @@
+"""Per-instruction pipeline shadow state.
+
+The trace's :class:`~repro.isa.DynInst` records stay immutable; each core
+wraps every fetched instruction in an :class:`InFlight` that carries the
+mutable pipeline state (renamed operands, timing, IXU progress, squash
+flag).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.instruction import DynInst
+
+#: complete_cycle sentinel: not yet scheduled.
+UNSCHEDULED = -1
+
+
+class InFlight:
+    """Mutable pipeline state of one in-flight dynamic instruction."""
+
+    __slots__ = (
+        "inst",
+        "renamed",
+        "prediction",
+        "mispredicted",
+        "btb_redirect",
+        "fetch_cycle",
+        "rename_ready",
+        "rename_cycle",
+        "dispatch_cycle",
+        "issue_ready",
+        "issued",
+        "complete_cycle",
+        "done",
+        "squashed",
+        "mem_executed",
+        "lsq_written",
+        "mem_dep",
+        "cluster",
+        "executed_in_ixu",
+        "ixu_pos",
+        "ixu_exec_cycle",
+        "ixu_exec_stage",
+        "ixu_category",
+        "regread_captured",
+    )
+
+    def __init__(self, inst: DynInst, fetch_cycle: int):
+        self.inst = inst
+        self.renamed = None
+        self.prediction = None
+        self.mispredicted = False
+        self.btb_redirect = False
+        self.fetch_cycle = fetch_cycle
+        self.rename_ready = fetch_cycle
+        self.rename_cycle = UNSCHEDULED
+        self.dispatch_cycle = UNSCHEDULED
+        self.issue_ready = UNSCHEDULED
+        self.issued = False
+        self.complete_cycle = UNSCHEDULED
+        self.done = False
+        self.squashed = False
+        self.mem_executed = False
+        self.lsq_written = False
+        self.mem_dep = None
+        self.cluster = -1
+        self.executed_in_ixu = False
+        self.ixu_pos = -1
+        self.ixu_exec_cycle = UNSCHEDULED
+        self.ixu_exec_stage = -1
+        self.ixu_category = ""
+        self.regread_captured: Optional[Tuple[bool, ...]] = None
+
+    @property
+    def seq(self) -> int:
+        """Program-order sequence number (trace position)."""
+        return self.inst.seq
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.executed_in_ixu:
+            flags.append("IXU")
+        if self.done:
+            flags.append("done")
+        if self.squashed:
+            flags.append("squashed")
+        return f"<InFlight {self.inst!r} {' '.join(flags)}>"

@@ -1,0 +1,284 @@
+"""Cycle-level in-order superscalar core (the LITTLE model).
+
+A dual-issue, scoreboarded in-order pipeline after Cortex-A53: no rename,
+no issue queue, no load/store queue — which is precisely why its energy
+per instruction is the lowest of all models (paper Section VI-I).  Issue
+stalls at the oldest not-ready instruction; a small store buffer provides
+store-to-load forwarding (memory ordering is trivially maintained because
+memory operations issue in program order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.backend import BypassNetwork, FUPool
+from repro.branch import BranchPredictor
+from repro.core.config import CoreConfig
+from repro.core.inflight import InFlight
+from repro.core.stats import CoreStats
+from repro.isa.instruction import DynInst
+from repro.isa.opclass import FUType, FU_FOR_OPCLASS, LATENCY, OpClass
+from repro.isa.registers import Reg
+from repro.mem.hierarchy import CacheHierarchy
+
+from repro.core.ooo import DEADLOCK_LIMIT, SimulationError
+
+#: Store-buffer entries kept for forwarding.
+STORE_BUFFER_DEPTH = 8
+
+
+class InOrderCore:
+    """In-order superscalar (LITTLE of Table I)."""
+
+    def __init__(self, config: CoreConfig):
+        if config.core_type != "inorder":
+            raise ValueError("InOrderCore requires an 'inorder' config")
+        self.config = config
+        self.predictor = BranchPredictor(
+            pht_entries=config.pht_entries,
+            btb_entries=config.btb_entries,
+            ras_depth=config.ras_depth,
+            kind=config.predictor_kind,
+        )
+        self.hierarchy = CacheHierarchy(config.hierarchy)
+        self.fu = {
+            FUType.INT: FUPool(FUType.INT, config.fu_int),
+            FUType.MEM: FUPool(FUType.MEM, config.fu_mem),
+            FUType.FP: FUPool(FUType.FP, config.fu_fp),
+        }
+        self.bypass = BypassNetwork("inorder", config.total_oxu_fus)
+        self.stats = CoreStats(model=config.name)
+        # Architectural register readiness (no renaming).
+        self._reg_ready: Dict[Reg, int] = {}
+        self._rf_reads = 0
+        self._rf_writes = 0
+        # Pipeline state.
+        self.cycle = 0
+        self.trace: List[DynInst] = []
+        self.fetch_idx = 0
+        self.fetch_resume_cycle = 0
+        self.waiting_branch: Optional[InFlight] = None
+        self.issue_q: Deque[InFlight] = deque()
+        self._completions: List[Tuple[int, int, InFlight]] = []
+        self._completion_counter = 0
+        self._last_fetched_line = -1
+        self._last_issue_cycle = 0
+        self._store_buffer: OrderedDict = OrderedDict()
+        self._final_cycle = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: List[DynInst],
+            max_cycles: Optional[int] = None) -> CoreStats:
+        """Simulate ``trace`` to completion and return statistics."""
+        self.trace = trace
+        while self.fetch_idx < len(trace) or self.issue_q:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+            self._tick()
+            if self.cycle - self._last_issue_cycle > DEADLOCK_LIMIT:
+                raise SimulationError(
+                    f"{self.config.name}: no issue for {DEADLOCK_LIMIT} "
+                    f"cycles at cycle {self.cycle}"
+                )
+        self.stats.cycles = max(self.cycle, self._final_cycle)
+        self._collect_events()
+        return self.stats
+
+    def _tick(self) -> None:
+        self._process_completions()
+        self._issue()
+        self._fetch()
+        self.cycle += 1
+
+    # ------------------------------------------------------------------
+    # Fetch (mirrors the OoO front end at LITTLE's width/depth)
+    # ------------------------------------------------------------------
+
+    def _fetch(self) -> None:
+        if self.cycle < self.fetch_resume_cycle:
+            return
+        if self.waiting_branch is not None:
+            return
+        config = self.config
+        fetched = 0
+        while (
+            fetched < config.fetch_width
+            and self.fetch_idx < len(self.trace)
+            and len(self.issue_q) < config.frontend_queue_depth
+        ):
+            inst = self.trace[self.fetch_idx]
+            line = inst.pc // config.hierarchy.line_bytes
+            if line != self._last_fetched_line:
+                result = self.hierarchy.fetch(inst.pc)
+                self._last_fetched_line = line
+                if not result.l1_hit:
+                    self.fetch_resume_cycle = self.cycle + result.latency
+                    break
+            entry = InFlight(inst, fetch_cycle=self.cycle)
+            entry.issue_ready = self.cycle + config.fetch_to_rename
+            stop_after = False
+            if inst.is_branch:
+                self.stats.branches += 1
+                entry.prediction = self.predictor.predict(inst)
+                if not entry.prediction.correct_for(inst):
+                    if (entry.prediction.taken and inst.taken
+                            and entry.prediction.target is None):
+                        entry.btb_redirect = True
+                        self.stats.btb_redirects += 1
+                        self.fetch_resume_cycle = (
+                            self.cycle + config.decode_redirect_latency
+                        )
+                    else:
+                        entry.mispredicted = True
+                        self.waiting_branch = entry
+                    stop_after = True
+                elif inst.taken:
+                    stop_after = True
+            self.issue_q.append(entry)
+            self.fetch_idx += 1
+            fetched += 1
+            self.stats.fetched += 1
+            if stop_after:
+                break
+
+    # ------------------------------------------------------------------
+    # In-order issue
+    # ------------------------------------------------------------------
+
+    def _ready(self, reg: Reg, cycle: int) -> bool:
+        return self._reg_ready.get(reg, 0) <= cycle
+
+    def _issue(self) -> None:
+        issued = 0
+        cycle = self.cycle
+        # Early/late ALU pairing (after Cortex-A53): one dependent
+        # 1-cycle integer op per cycle may dual-issue behind its
+        # producer, executing in the late ALU stage with an
+        # early-to-late forward.
+        early_results = set()
+        late_slot_used = False
+        while self.issue_q and issued < self.config.issue_width:
+            entry = self.issue_q[0]
+            if entry.issue_ready > cycle:
+                break
+            inst = entry.inst
+            is_simple_int = inst.op in (OpClass.INT_ALU, OpClass.BR_COND,
+                                        OpClass.BR_UNCOND)
+            pending = [src for src in inst.srcs
+                       if not self._ready(src, cycle)]
+            uses_late = False
+            if pending:
+                if (is_simple_int and not late_slot_used
+                        and all(src in early_results for src in pending)):
+                    uses_late = True
+                else:
+                    break  # RAW hazard: stall in order
+            # WAW: destination's previous write must have completed.
+            if inst.dest is not None and not self._ready(inst.dest, cycle):
+                break
+            fu_type = FU_FOR_OPCLASS[inst.op]
+            if not self.fu[fu_type].try_issue(inst.op, cycle):
+                break
+            self.issue_q.popleft()
+            self._rf_reads += len(inst.srcs)
+            self._execute(entry, cycle)
+            if uses_late:
+                late_slot_used = True
+            if (inst.op is OpClass.INT_ALU and inst.dest is not None
+                    and LATENCY[inst.op] == 1):
+                early_results.add(inst.dest)
+            issued += 1
+            self._last_issue_cycle = cycle
+            if inst.is_branch and entry.mispredicted:
+                break
+
+    def _execute(self, entry: InFlight, cycle: int) -> None:
+        inst = entry.inst
+        if inst.is_load:
+            if inst.mem_addr in self._store_buffer:
+                self.stats.forwarded_loads += 1
+                latency = 2
+            else:
+                result = self.hierarchy.load(inst.mem_addr)
+                latency = 1 + result.latency
+            complete = cycle + latency
+        elif inst.is_store:
+            self.hierarchy.store(inst.mem_addr)
+            self._store_buffer[inst.mem_addr] = inst.seq
+            if len(self._store_buffer) > STORE_BUFFER_DEPTH:
+                self._store_buffer.popitem(last=False)
+            complete = cycle + 1
+        else:
+            complete = cycle + LATENCY[inst.op]
+        entry.complete_cycle = complete
+        self._final_cycle = max(self._final_cycle, complete)
+        if inst.dest is not None:
+            self._reg_ready[inst.dest] = complete
+            self._rf_writes += 1
+            self.bypass.broadcast()
+        self._completion_counter += 1
+        heapq.heappush(
+            self._completions, (complete, self._completion_counter, entry)
+        )
+        # Commit accounting: in-order issue means the instruction will
+        # retire; count it now and classify.
+        self.stats.committed += 1
+        if inst.is_load:
+            self.stats.committed_loads += 1
+        if inst.is_store:
+            self.stats.committed_stores += 1
+        if inst.is_branch:
+            self.stats.committed_branches += 1
+        if inst.op in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV):
+            self.stats.committed_fp += 1
+
+    # ------------------------------------------------------------------
+
+    def _process_completions(self) -> None:
+        while self._completions and self._completions[0][0] <= self.cycle:
+            _, _, entry = heapq.heappop(self._completions)
+            entry.done = True
+            if entry.inst.is_branch:
+                self.predictor.resolve(entry.inst, entry.prediction)
+                if entry.mispredicted:
+                    self.stats.mispredictions += 1
+                    # A short in-order pipe flushes little wrong-path work.
+                    window = max(
+                        0, self.cycle - entry.fetch_cycle
+                        - self.config.fetch_to_rename
+                    )
+                    self.stats.events.wrongpath_ops += (
+                        0.25 * self.config.issue_width * window
+                    )
+                if self.waiting_branch is entry:
+                    self.waiting_branch = None
+                    self.fetch_resume_cycle = self.cycle + 1
+
+    # ------------------------------------------------------------------
+
+    def _collect_events(self) -> None:
+        events = self.stats.events
+        events.cycles = self.stats.cycles
+        events.fetched = self.stats.fetched
+        events.decoded = self.stats.fetched
+        events.prf_reads = self._rf_reads
+        events.prf_writes = self._rf_writes
+        events.fu_int_ops = self.fu[FUType.INT].executions
+        events.fu_mem_ops = self.fu[FUType.MEM].executions
+        events.fu_fp_ops = self.fu[FUType.FP].executions
+        events.oxu_bypass_broadcasts = self.bypass.broadcasts
+        events.predictor_lookups = self.predictor.lookups
+        events.btb_lookups = self.predictor.lookups
+        l1i, l1d, l2 = (self.hierarchy.l1i, self.hierarchy.l1d,
+                        self.hierarchy.l2)
+        events.l1i_accesses = l1i.stats.accesses
+        events.l1i_misses = l1i.stats.misses
+        events.l1d_accesses = l1d.stats.accesses
+        events.l1d_misses = l1d.stats.misses
+        events.l2_accesses = l2.stats.accesses
+        events.l2_misses = l2.stats.misses
+        events.mem_accesses = self.hierarchy.mem_accesses

@@ -1,0 +1,581 @@
+"""Cycle-level out-of-order superscalar core (Figure 1 baseline).
+
+Trace-driven model of the conventional physical-register-file superscalar
+the paper compares against (BIG / HALF).  Key mechanisms:
+
+* Fetch with g-share+BTB+RAS prediction; a misprediction stops fetch until
+  the branch executes (no wrong-path fetch), after which the front-end
+  refill depth supplies the Table I penalty.
+* Rename allocates PRF/ROB/LSQ/IQ resources in program order and stalls on
+  exhaustion.
+* Age-ordered wakeup/select over the issue queue under issue-width, FU and
+  memory-dependence (store-set) constraints; operand readiness is a
+  per-physical-register timestamp, giving back-to-back wakeup.
+* Loads search the LSQ for store-to-load forwarding; stores search younger
+  executed loads and squash-and-replay on an ordering violation (the trace
+  cursor literally rewinds).
+* In-order commit; stores write the data cache at commit.
+
+The model executes no wrong-path instructions; their FU energy is instead
+estimated statistically at each misprediction resolution (see
+``_charge_wrongpath``) so the energy comparison against the in-order core
+keeps the paper's Figure 8b shape.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.backend import (
+    BypassNetwork,
+    FUPool,
+    IssueQueue,
+    LoadStoreQueue,
+    ReorderBuffer,
+    StoreSetPredictor,
+)
+from repro.branch import BranchPredictor
+from repro.core.config import CoreConfig
+from repro.core.inflight import InFlight
+from repro.core.stats import CoreStats
+from repro.isa.instruction import DynInst
+from repro.isa.opclass import FUType, FU_FOR_OPCLASS, LATENCY, OpClass
+from repro.mem.hierarchy import CacheHierarchy
+
+#: Abort the run when commit makes no progress for this many cycles.
+DEADLOCK_LIMIT = 20_000
+
+
+class SimulationError(RuntimeError):
+    """The pipeline wedged (a model bug, surfaced loudly)."""
+
+
+class OutOfOrderCore:
+    """Conventional out-of-order superscalar (BIG/HALF of Table I)."""
+
+    def __init__(self, config: CoreConfig):
+        if config.core_type != "ooo":
+            raise ValueError("OutOfOrderCore requires an 'ooo' config")
+        self.config = config
+        self.predictor = BranchPredictor(
+            pht_entries=config.pht_entries,
+            btb_entries=config.btb_entries,
+            ras_depth=config.ras_depth,
+            kind=config.predictor_kind,
+        )
+        self.hierarchy = CacheHierarchy(config.hierarchy)
+        # Renamer import is local to avoid a cycle with repro.rename docs.
+        from repro.rename import Renamer
+
+        self.renamer = Renamer(config.int_prf_entries,
+                               config.fp_prf_entries)
+        self.rob = ReorderBuffer(config.rob_entries)
+        self.iq = IssueQueue(config.iq_entries, config.issue_width)
+        self.lsq = LoadStoreQueue(config.lq_entries, config.sq_entries)
+        self.store_sets = StoreSetPredictor()
+        self.fu = {
+            FUType.INT: FUPool(FUType.INT, config.fu_int),
+            FUType.MEM: FUPool(FUType.MEM, config.fu_mem),
+            FUType.FP: FUPool(FUType.FP, config.fu_fp),
+        }
+        self.oxu_bypass = BypassNetwork("oxu", config.total_oxu_fus)
+        self.stats = CoreStats(model=config.name)
+        # Pipeline state.
+        self.cycle = 0
+        self.trace: List[DynInst] = []
+        self.fetch_idx = 0
+        self.fetch_resume_cycle = 0
+        self.waiting_branch: Optional[InFlight] = None
+        self.rename_q: Deque[InFlight] = deque()
+        self.dispatch_q: Deque[InFlight] = deque()
+        self._completions: List[Tuple[int, int, InFlight]] = []
+        self._completion_counter = 0
+        self._last_fetched_line = -1
+        self._last_commit_cycle = 0
+        self._iq_reserved = 0
+        # PRF read-port usage per cycle (shared with the IXU in FXA;
+        # the OXU issues first each cycle and therefore has priority).
+        self._prf_port_use: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, trace: List[DynInst],
+            max_cycles: Optional[int] = None) -> CoreStats:
+        """Simulate ``trace`` to completion and return statistics.
+
+        The trace must be indexable by sequence number (``trace[i].seq
+        == i``) because ordering-violation replay rewinds the cursor.
+        """
+        if trace and trace[0].seq != 0:
+            raise ValueError("trace must start at seq 0")
+        self.trace = trace
+        while self.fetch_idx < len(trace) or len(self.rob) or self.rename_q:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+            self._tick()
+            if self.cycle - self._last_commit_cycle > DEADLOCK_LIMIT:
+                raise SimulationError(
+                    f"{self.config.name}: no commit for "
+                    f"{DEADLOCK_LIMIT} cycles at cycle {self.cycle} "
+                    f"(head={self.rob.head()!r})"
+                )
+        self.stats.cycles = self.cycle
+        self._collect_events()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # One cycle
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._process_completions()
+        self._commit()
+        self._issue()
+        self._dispatch()
+        self._rename()
+        self._fetch()
+        self.iq.sample_occupancy()
+        self.cycle += 1
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+
+    def _fetch(self) -> None:
+        if self.cycle < self.fetch_resume_cycle:
+            return
+        if self.waiting_branch is not None:
+            return
+        config = self.config
+        fetched = 0
+        while (
+            fetched < config.fetch_width
+            and self.fetch_idx < len(self.trace)
+            and len(self.rename_q) < config.frontend_queue_depth
+        ):
+            inst = self.trace[self.fetch_idx]
+            line = inst.pc // config.hierarchy.line_bytes
+            if line != self._last_fetched_line:
+                result = self.hierarchy.fetch(inst.pc)
+                self._last_fetched_line = line
+                if not result.l1_hit:
+                    # Refill in flight: resume once the line arrives.
+                    self.fetch_resume_cycle = self.cycle + result.latency
+                    break
+            entry = InFlight(inst, fetch_cycle=self.cycle)
+            entry.rename_ready = self.cycle + config.fetch_to_rename
+            stop_after = False
+            if inst.is_branch:
+                self.stats.branches += 1
+                entry.prediction = self.predictor.predict(inst)
+                if not entry.prediction.correct_for(inst):
+                    if (entry.prediction.taken and inst.taken
+                            and entry.prediction.target is None):
+                        # Direction right, BTB cold: the decoder computes
+                        # the target — a short front-end redirect.
+                        entry.btb_redirect = True
+                        self.stats.btb_redirects += 1
+                        self.fetch_resume_cycle = (
+                            self.cycle + config.decode_redirect_latency
+                        )
+                    else:
+                        entry.mispredicted = True
+                        self.waiting_branch = entry
+                    stop_after = True
+                elif inst.taken and config.fetch_breaks_on_taken:
+                    # Simple fetch units stop at a taken branch.
+                    stop_after = True
+            self.rename_q.append(entry)
+            self.fetch_idx += 1
+            fetched += 1
+            self.stats.fetched += 1
+            if stop_after:
+                break
+
+    # ------------------------------------------------------------------
+    # Rename
+    # ------------------------------------------------------------------
+
+    def _rename(self) -> None:
+        config = self.config
+        renamed = 0
+        while self.rename_q and renamed < config.rename_width:
+            entry = self.rename_q[0]
+            if entry.rename_ready > self.cycle:
+                break
+            if not self._rename_resources_ready(entry):
+                break
+            self.rename_q.popleft()
+            if self._is_eliminable(entry.inst):
+                # RENO: the move becomes a rename-table update; it still
+                # takes a ROB slot and commits, but never executes.
+                entry.renamed = self.renamer.rename_move(entry.inst)
+                entry.rename_cycle = self.cycle
+                entry.complete_cycle = self.cycle
+                self.rob.insert(entry)
+                self._completion_counter += 1
+                heapq.heappush(
+                    self._completions,
+                    (self.cycle, self._completion_counter, entry),
+                )
+                renamed += 1
+                continue
+            entry.renamed = self.renamer.rename(entry.inst)
+            entry.rename_cycle = self.cycle
+            self.rob.insert(entry)
+            inst = entry.inst
+            if inst.is_load:
+                self.lsq.insert_load(entry)
+                # LFST is read in program order at rename: it holds the
+                # youngest *older* store of the load's store set.
+                entry.mem_dep = self.store_sets.load_dependency(inst.pc)
+            elif inst.is_store:
+                self.lsq.insert_store(entry)
+                self.store_sets.store_dispatched(inst.pc, entry)
+            self._after_rename(entry)
+            renamed += 1
+
+    def _is_eliminable(self, inst: DynInst) -> bool:
+        """Is this a move the RENO extension can eliminate at rename?"""
+        return (
+            self.config.move_elimination
+            and inst.op is OpClass.MOV
+            and inst.dest is not None
+            and len(inst.srcs) == 1
+            and inst.dest.cls is inst.srcs[0].cls
+        )
+
+    def _rename_resources_ready(self, entry: InFlight) -> bool:
+        """Check every resource rename must secure for ``entry``."""
+        inst = entry.inst
+        if self._is_eliminable(inst):
+            return not self.rob.full  # needs no register, IQ or LSQ slot
+        if not self.renamer.can_rename(inst):
+            return False
+        if self.rob.full:
+            return False
+        if inst.is_load and not self.lsq.loads_free:
+            return False
+        if inst.is_store and not self.lsq.stores_free:
+            return False
+        if not self._iq_slot_available(entry):
+            return False
+        return True
+
+    def _iq_slot_available(self, entry: InFlight) -> bool:
+        """The plain OoO core reserves an IQ slot at rename."""
+        return self.iq.free - self._iq_reserved > 0
+
+    def _after_rename(self, entry: InFlight) -> None:
+        """Hook: route the renamed instruction toward dispatch."""
+        entry.dispatch_cycle = self.cycle + self.config.rename_to_dispatch
+        self.dispatch_q.append(entry)
+        self._iq_reserved += 1
+
+    # ------------------------------------------------------------------
+    # Dispatch (into the issue queue)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        config = self.config
+        dispatched = 0
+        while self.dispatch_q and dispatched < config.rename_width:
+            entry = self.dispatch_q[0]
+            if entry.dispatch_cycle > self.cycle:
+                break
+            self.dispatch_q.popleft()
+            if entry.squashed:
+                continue
+            self._iq_reserved -= 1
+            self.iq.dispatch(entry)
+            entry.issue_ready = self.cycle + config.dispatch_to_issue
+            dispatched += 1
+
+    # ------------------------------------------------------------------
+    # Issue / execute
+    # ------------------------------------------------------------------
+
+    def _srcs_ready(self, entry: InFlight, cycle: int) -> bool:
+        prf = self.renamer.prf
+        return all(
+            prf[cls].ready_cycle(preg) <= cycle
+            for cls, preg in entry.renamed.srcs
+        )
+
+    def _load_dependence_clear(self, entry: InFlight) -> bool:
+        """Store-set check: may this load issue ahead of older stores?
+
+        The dependency was captured at rename (LFST read in program
+        order); the load waits until that store has executed.
+        """
+        dep = entry.mem_dep
+        if dep is None:
+            return True
+        return dep.squashed or dep.mem_executed or dep.seq >= entry.seq
+
+    def _issue(self) -> None:
+        issued = 0
+        cycle = self.cycle
+        for entry in list(self.iq):
+            if issued >= self.config.issue_width:
+                break
+            if entry.squashed or entry.issued:
+                continue
+            if entry.issue_ready > cycle:
+                continue
+            if not self._srcs_ready(entry, cycle):
+                continue
+            inst = entry.inst
+            if inst.is_load and not self._load_dependence_clear(entry):
+                continue
+            fu_type = FU_FOR_OPCLASS[inst.op]
+            if not self.fu[fu_type].try_issue(inst.op, cycle):
+                continue
+            self.iq.issue(entry)
+            entry.issued = True
+            issued += 1
+            self._execute(entry, cycle, in_ixu=False)
+            if entry.squashed:
+                # An ordering violation squashed younger state (possibly
+                # entries later in our snapshot); restart next cycle.
+                break
+
+    def _execute(self, entry: InFlight, cycle: int, in_ixu: bool) -> None:
+        """Begin execution at ``cycle``; schedules the completion."""
+        inst = entry.inst
+        if not in_ixu and entry.renamed is not None:
+            # Register-read stage after issue (counts PRF read ports).
+            for cls, preg in entry.renamed.srcs:
+                self.renamer.prf[cls].read(preg)
+                self._claim_prf_port(cycle)
+        if inst.is_load:
+            forwarded = self.lsq.execute_load(entry, in_ixu)
+            if forwarded:
+                self.stats.forwarded_loads += 1
+                latency = 2  # AGU + store-queue forward
+            else:
+                result = self.hierarchy.load(inst.mem_addr)
+                latency = 1 + result.latency
+            complete = cycle + latency
+        elif inst.is_store:
+            violator = self.lsq.execute_store(entry, in_ixu)
+            self.store_sets.store_executed(inst.pc, entry)
+            complete = cycle + 1
+            if violator is not None:
+                self._handle_violation(violator, entry)
+        else:
+            complete = cycle + LATENCY[inst.op]
+        entry.complete_cycle = complete
+        if entry.renamed is not None and entry.renamed.dest is not None:
+            network = self._bypass_network(in_ixu)
+            network.broadcast()
+        self._completion_counter += 1
+        heapq.heappush(
+            self._completions, (complete, self._completion_counter, entry)
+        )
+
+    def _bypass_network(self, in_ixu: bool) -> BypassNetwork:
+        return self.oxu_bypass
+
+    def _claim_prf_port(self, cycle: int) -> None:
+        """The OXU takes a shared PRF read port unconditionally."""
+        self._prf_port_use[cycle] = self._prf_port_use.get(cycle, 0) + 1
+        if len(self._prf_port_use) > 64:
+            self._prf_port_use = {
+                c: n for c, n in self._prf_port_use.items() if c >= cycle
+            }
+
+    def _prf_port_free(self, cycle: int) -> bool:
+        """Is a shared PRF read port left for the front end this cycle?"""
+        used = self._prf_port_use.get(cycle, 0)
+        return used < self.config.prf_read_ports
+
+    # ------------------------------------------------------------------
+    # Completion / writeback
+    # ------------------------------------------------------------------
+
+    def _process_completions(self) -> None:
+        while self._completions and self._completions[0][0] <= self.cycle:
+            _, _, entry = heapq.heappop(self._completions)
+            if entry.squashed:
+                continue
+            entry.done = True
+            renamed = entry.renamed
+            if (renamed is not None and renamed.dest is not None
+                    and not renamed.eliminated):
+                prf = self.renamer.prf[renamed.dest_cls]
+                prf.mark_ready(renamed.dest, entry.complete_cycle)
+                prf.mark_written(renamed.dest,
+                                 self._prf_write_cycle(entry))
+                if not entry.executed_in_ixu:
+                    # Completing producers broadcast their tag into the IQ.
+                    self.iq.broadcast_wakeup()
+            if entry.inst.is_branch:
+                self._resolve_branch(entry)
+
+    def _prf_write_cycle(self, entry: InFlight) -> int:
+        """Cycle the result is readable from the PRF (writeback + 1)."""
+        return entry.complete_cycle + 1
+
+    def _resolve_branch(self, entry: InFlight) -> None:
+        self.predictor.resolve(entry.inst, entry.prediction)
+        if entry.mispredicted:
+            self.stats.mispredictions += 1
+            if entry.executed_in_ixu:
+                self.stats.mispredictions_resolved_in_ixu += 1
+            self._charge_wrongpath(entry)
+        if self.waiting_branch is entry:
+            self.waiting_branch = None
+            self.fetch_resume_cycle = self.cycle + 1
+
+    def _charge_wrongpath(self, entry: InFlight) -> None:
+        """Estimate wrong-path FU work for one misprediction.
+
+        The model fetches no wrong path, but real cores execute down it
+        until resolution; the deeper/wider the window, the more flushed
+        work (the reason LITTLE's FU energy is lowest in Figure 8b).  We
+        charge half the issue bandwidth over the resolution window.
+        """
+        window = max(
+            0, self.cycle - entry.fetch_cycle - self.config.fetch_to_rename
+        )
+        self.stats.events.wrongpath_ops += (
+            0.5 * self.config.issue_width * window
+        )
+
+    # ------------------------------------------------------------------
+    # Memory-ordering violation: squash and replay
+    # ------------------------------------------------------------------
+
+    def _handle_violation(self, load_entry: InFlight,
+                          store_entry: InFlight) -> None:
+        self.stats.violations += 1
+        self.store_sets.train_violation(load_entry.inst.pc,
+                                        store_entry.inst.pc)
+        self._squash_after(load_entry.seq - 1)
+
+    def _squash_after(self, boundary_seq: int) -> None:
+        """Squash every instruction younger than ``boundary_seq`` and
+        rewind the trace cursor to refetch them."""
+        removed = self.rob.squash_younger_than(boundary_seq)
+        for entry in removed:  # youngest first
+            entry.squashed = True
+            self.stats.squashed += 1
+            if entry.inst.is_store:
+                self.store_sets.store_squashed(entry.inst.pc, entry)
+            self.renamer.squash(entry.renamed)
+        self.iq.squash_younger_than(boundary_seq)
+        self.lsq.squash_younger_than(boundary_seq)
+        for queue in (self.rename_q, self.dispatch_q):
+            for entry in queue:
+                if entry.seq > boundary_seq:
+                    entry.squashed = True
+        self.rename_q = deque(
+            e for e in self.rename_q if not e.squashed
+        )
+        kept_dispatch = deque()
+        for entry in self.dispatch_q:
+            if entry.squashed:
+                self._iq_reserved -= 1
+            else:
+                kept_dispatch.append(entry)
+        self.dispatch_q = kept_dispatch
+        if (self.waiting_branch is not None
+                and self.waiting_branch.seq > boundary_seq):
+            self.waiting_branch = None
+        self._squash_hook(boundary_seq)
+        self.fetch_idx = boundary_seq + 1
+        self.fetch_resume_cycle = self.cycle + 1
+        self._last_fetched_line = -1
+
+    def _squash_hook(self, boundary_seq: int) -> None:
+        """Hook for subclasses (FXA clears the IXU pipe)."""
+
+    def _on_commit(self, entry: InFlight) -> None:
+        """Hook for subclasses (FXA records IXU-execution statistics)."""
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        committed = 0
+        while committed < self.config.commit_width:
+            head = self.rob.head()
+            if head is None or not head.done:
+                break
+            if head.complete_cycle > self.cycle:
+                break
+            self.rob.pop_head()
+            inst = head.inst
+            if inst.is_store:
+                self.hierarchy.store(inst.mem_addr)
+                self.stats.committed_stores += 1
+            if inst.is_load:
+                self.stats.committed_loads += 1
+            if inst.is_mem:
+                self.lsq.commit(head)
+            if inst.is_branch:
+                self.stats.committed_branches += 1
+            if inst.op in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV):
+                self.stats.committed_fp += 1
+            self.renamer.commit(head.renamed)
+            self._on_commit(head)
+            self.stats.committed += 1
+            committed += 1
+            self._last_commit_cycle = self.cycle
+
+    # ------------------------------------------------------------------
+    # Event collection for the energy model
+    # ------------------------------------------------------------------
+
+    def _collect_events(self) -> None:
+        events = self.stats.events
+        events.cycles = self.cycle
+        events.fetched = self.stats.fetched
+        events.decoded = self.stats.fetched
+        events.iq_dispatches = self.iq.dispatches
+        events.iq_issues = self.iq.issues
+        events.iq_wakeup_broadcasts = self.iq.wakeup_broadcasts
+        events.iq_cam_compares = self.iq.wakeup_cam_compares
+        events.lsq_writes = self.lsq.stats.writes
+        events.lsq_searches = self.lsq.stats.searches
+        events.lsq_omitted_writes = self.lsq.stats.omitted_load_writes
+        events.lsq_omitted_searches = (
+            self.lsq.stats.omitted_violation_searches
+        )
+        prf = self.renamer.prf
+        events.prf_reads = sum(p.reads for p in prf.values())
+        events.prf_writes = sum(p.writes for p in prf.values())
+        events.scoreboard_reads = sum(
+            s.reads for s in self.renamer.scoreboard.values()
+        )
+        events.rat_reads = sum(
+            r.reads for r in self.renamer.rat.values()
+        )
+        events.rat_writes = sum(
+            r.writes for r in self.renamer.rat.values()
+        )
+        events.rob_allocations = self.rob.allocations
+        events.moves_eliminated = self.renamer.moves_eliminated
+        events.fu_int_ops = self.fu[FUType.INT].executions
+        events.fu_mem_ops = self.fu[FUType.MEM].executions
+        events.fu_fp_ops = self.fu[FUType.FP].executions
+        events.oxu_bypass_broadcasts = self.oxu_bypass.broadcasts
+        events.predictor_lookups = self.predictor.lookups
+        events.btb_lookups = self.predictor.lookups
+        l1i, l1d, l2 = (self.hierarchy.l1i, self.hierarchy.l1d,
+                        self.hierarchy.l2)
+        events.l1i_accesses = l1i.stats.accesses
+        events.l1i_misses = l1i.stats.misses
+        events.l1d_accesses = l1d.stats.accesses
+        events.l1d_misses = l1d.stats.misses
+        events.l2_accesses = l2.stats.accesses
+        events.l2_misses = l2.stats.misses
+        events.mem_accesses = self.hierarchy.mem_accesses
+        self.stats.iq_mean_occupancy = self.iq.mean_occupancy
+        self.stats.forwarded_loads = self.lsq.stats.forwarded_loads

@@ -1,0 +1,126 @@
+"""Simulation result records: timing statistics and energy event counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EventCounts:
+    """Raw access/event counts the energy model prices.
+
+    Every count is an *occurrence* total over the simulated interval; the
+    energy model multiplies each by a per-event energy that scales with
+    the priced structure's geometry (capacity × ports).
+    """
+
+    cycles: int = 0
+    fetched: int = 0
+    decoded: int = 0
+    # Issue queue.
+    iq_dispatches: int = 0
+    iq_issues: int = 0
+    iq_wakeup_broadcasts: int = 0
+    iq_cam_compares: int = 0
+    # Load/store queue.
+    lsq_writes: int = 0
+    lsq_searches: int = 0
+    lsq_omitted_writes: int = 0
+    lsq_omitted_searches: int = 0
+    # Register files and rename.
+    prf_reads: int = 0
+    prf_writes: int = 0
+    scoreboard_reads: int = 0
+    rat_reads: int = 0
+    rat_writes: int = 0
+    rob_allocations: int = 0
+    # Execution.
+    fu_int_ops: int = 0
+    fu_mem_ops: int = 0
+    fu_fp_ops: int = 0
+    ixu_ops: int = 0
+    ixu_mem_ops: int = 0
+    oxu_bypass_broadcasts: int = 0
+    intercluster_forwards: int = 0
+    moves_eliminated: int = 0
+    ixu_bypass_broadcasts: int = 0
+    wrongpath_ops: float = 0.0
+    # Front end.
+    predictor_lookups: int = 0
+    btb_lookups: int = 0
+    # Memory hierarchy.
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    mem_accesses: int = 0
+
+
+@dataclass
+class CoreStats:
+    """Timing results of one simulation run."""
+
+    model: str = ""
+    benchmark: str = ""
+    cycles: int = 0
+    committed: int = 0
+    fetched: int = 0
+    # Branches.
+    branches: int = 0
+    mispredictions: int = 0
+    mispredictions_resolved_in_ixu: int = 0
+    btb_redirects: int = 0
+    # Memory ordering.
+    violations: int = 0
+    squashed: int = 0
+    forwarded_loads: int = 0
+    # IXU execution profile (paper Section IV-A / Figure 12).
+    ixu_executed: int = 0
+    ixu_category_a: int = 0      # ready when entering the IXU
+    ixu_category_b: int = 0      # became ready through IXU bypassing
+    ixu_by_stage: Dict[int, int] = field(default_factory=dict)
+    ixu_mem_ops: int = 0
+    ixu_branches: int = 0
+    # Committed mix.
+    committed_loads: int = 0
+    committed_stores: int = 0
+    committed_fp: int = 0
+    committed_branches: int = 0
+    # Backend occupancy.
+    iq_mean_occupancy: float = 0.0
+    events: EventCounts = field(default_factory=EventCounts)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.committed / self.cycles
+
+    @property
+    def ixu_executed_rate(self) -> float:
+        """Fraction of committed instructions executed in the IXU
+        (the paper's Figure 12 metric)."""
+        if not self.committed:
+            return 0.0
+        return self.ixu_executed / self.committed
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.branches:
+            return 0.0
+        return self.mispredictions / self.branches
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        parts = [
+            f"{self.model or 'core'} on {self.benchmark or '?'}:",
+            f"IPC {self.ipc:.3f}",
+            f"({self.committed} insts / {self.cycles} cycles)",
+        ]
+        if self.ixu_executed:
+            parts.append(f"IXU rate {self.ixu_executed_rate:.1%}")
+        return " ".join(parts)

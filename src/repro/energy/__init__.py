@@ -1,0 +1,30 @@
+"""McPAT-like energy and area model (paper Section VI, Table II).
+
+The paper evaluates energy and area with McPAT 1.0 at 22 nm FinFET
+(Table II).  This package substitutes an analytical model: every
+structure's per-access energy scales with its capacity × ports (the
+Weste & Harris rule the paper cites), leakage scales with area and the
+device class (high-performance transistors in the core, low-standby-power
+in the L2), and the per-event base constants are calibrated so the BIG
+core's component breakdown matches the shares visible in Figure 8a/9a.
+"""
+
+from repro.energy.params import (
+    DeviceParams,
+    EnergyParams,
+    DEFAULT_DEVICE,
+    DEFAULT_ENERGY,
+)
+from repro.energy.area import AreaModel, Component
+from repro.energy.model import EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "DeviceParams",
+    "EnergyParams",
+    "DEFAULT_DEVICE",
+    "DEFAULT_ENERGY",
+    "AreaModel",
+    "Component",
+    "EnergyBreakdown",
+    "EnergyModel",
+]

@@ -1,0 +1,117 @@
+"""Circuit-area model (Figure 9).
+
+Component areas in mm² at 22 nm, calibrated so the BIG core matches the
+shares the paper reports: in HALF+FX the L2 is ~44 % and the FP units
+~24 % of the whole (Section VI-F), the IXU adds ~2.7 % to the whole core,
+and the IQ's area scales with capacity × width (which is why HALF's IQ is
+a quarter of BIG's in Figure 9b).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.core.config import CoreConfig
+
+
+class Component(enum.Enum):
+    """Figure 8a / 9a legend components."""
+
+    IQ = "IQ"
+    LSQ = "LSQ"
+    PRF = "(P)RF"
+    RAT = "RAT"
+    IXU = "IXU"
+    FUS = "FUs"
+    OTHERS = "OTHERS"
+    FPU = "FPU"
+    DECODER = "Decoder"
+    L1D = "L1D"
+    L1I = "L1I"
+    L2 = "L2"
+
+
+#: BIG-geometry base areas, mm² (see module docstring for calibration).
+_BASE = {
+    Component.L2: 1.80,          # 512 KB LSTP
+    Component.FPU: 0.97,         # 2 FP units
+    Component.L1I: 0.22,         # 48 KB
+    Component.L1D: 0.16,         # 32 KB
+    Component.IQ: 0.10,          # 64 entries x 4-issue
+    Component.LSQ: 0.08,         # 32 + 32 entries
+    Component.PRF: 0.09,         # 128 + 96 entries, 9 ports
+    Component.RAT: 0.04,
+    Component.FUS: 0.12,         # 2 int + 2 mem
+    Component.DECODER: 0.10,     # 3-wide
+    Component.OTHERS: 0.32,      # ROB, fetch, predictors, TLBs, ...
+}
+
+#: One simple integer FU (adder+shifter+logic, Figure 6) and the
+#: per-FU bypass wiring of the IXU.
+IXU_FU_AREA = 0.025
+IXU_BYPASS_AREA_PER_FU = 0.010
+
+
+class AreaModel:
+    """Computes the per-component area breakdown for a core config."""
+
+    def __init__(self, config: CoreConfig):
+        self.config = config
+
+    def breakdown(self) -> Dict[Component, float]:
+        """Component -> area in mm²."""
+        config = self.config
+        areas: Dict[Component, float] = {}
+        hierarchy = config.hierarchy
+        areas[Component.L2] = _BASE[Component.L2] * hierarchy.l2_kb / 512
+        areas[Component.L1I] = _BASE[Component.L1I] * hierarchy.l1i_kb / 48
+        areas[Component.L1D] = _BASE[Component.L1D] * hierarchy.l1d_kb / 32
+        areas[Component.FPU] = _BASE[Component.FPU] * config.fu_fp / 2
+        areas[Component.DECODER] = (
+            _BASE[Component.DECODER] * config.fetch_width / 3
+        )
+        areas[Component.FUS] = (
+            _BASE[Component.FUS] * (config.fu_int + config.fu_mem) / 4
+        )
+        if config.core_type == "inorder":
+            # No rename/scheduling structures; a small architectural RF
+            # and scoreboard stand in for the PRF.
+            areas[Component.IQ] = 0.0
+            areas[Component.LSQ] = 0.0
+            areas[Component.RAT] = 0.0
+            areas[Component.PRF] = _BASE[Component.PRF] * 64 / 224 * 0.5
+            areas[Component.OTHERS] = _BASE[Component.OTHERS] * 0.55
+        else:
+            areas[Component.IQ] = (
+                _BASE[Component.IQ]
+                * (config.iq_entries / 64)
+                * (config.issue_width / 4)
+            )
+            areas[Component.LSQ] = _BASE[Component.LSQ] * (
+                (config.lq_entries + config.sq_entries) / 64
+            )
+            areas[Component.PRF] = _BASE[Component.PRF] * (
+                (config.int_prf_entries + config.fp_prf_entries) / 224
+            )
+            areas[Component.RAT] = _BASE[Component.RAT]
+            areas[Component.OTHERS] = _BASE[Component.OTHERS] * (
+                0.8 + 0.2 * config.rob_entries / 128
+            )
+        if config.has_ixu:
+            fus = config.ixu.total_fus
+            areas[Component.IXU] = (
+                fus * IXU_FU_AREA + fus * IXU_BYPASS_AREA_PER_FU
+            )
+        else:
+            areas[Component.IXU] = 0.0
+        return areas
+
+    def total(self) -> float:
+        """Whole-processor area in mm²."""
+        return sum(self.breakdown().values())
+
+    def core_area(self) -> float:
+        """Area on high-performance devices (everything but the L2)."""
+        breakdown = self.breakdown()
+        return self.total() - breakdown[Component.L2]

@@ -1,0 +1,212 @@
+"""Energy accounting: prices a run's event counts into a Figure 8a
+component breakdown (dynamic + static per component).
+
+Scaling rules (paper Sections I and V):
+
+* IQ/LSQ/PRF per-access energy ∝ capacity × ports; the wakeup CAM energy
+  additionally ∝ live entries (we count the actual per-broadcast
+  comparisons, so the per-compare price scales with width only).
+* Bypass broadcast energy ∝ FUs on that result-wire network; the IXU and
+  OXU networks are separate (Section III-A1).
+* Leakage ∝ component area × device-class leak density (HP core devices
+  vs LSTP L2 devices, Table II) × cycles.
+* Wrong-path (flushed) work is charged statistically per misprediction —
+  the reason LITTLE's FU energy is lowest in Figure 8b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.config import CoreConfig
+from repro.core.stats import CoreStats, EventCounts
+from repro.energy.area import AreaModel, Component
+from repro.energy.params import (
+    DEFAULT_DEVICE,
+    DEFAULT_ENERGY,
+    DeviceParams,
+    EnergyParams,
+    REF_IQ_ENTRIES,
+    REF_ISSUE_WIDTH,
+    REF_LSQ_ENTRIES,
+    REF_OXU_FUS,
+    REF_PRF_ENTRIES,
+    REF_RENAME_WIDTH,
+)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component dynamic/static energy (pJ) for one run."""
+
+    model: str
+    benchmark: str
+    cycles: int
+    committed: int
+    dynamic: Dict[Component, float] = field(default_factory=dict)
+    static: Dict[Component, float] = field(default_factory=dict)
+
+    def component_total(self, component: Component) -> float:
+        return (self.dynamic.get(component, 0.0)
+                + self.static.get(component, 0.0))
+
+    @property
+    def total(self) -> float:
+        """Whole-processor energy in pJ."""
+        return sum(self.dynamic.values()) + sum(self.static.values())
+
+    @property
+    def energy_per_instruction(self) -> float:
+        if not self.committed:
+            return 0.0
+        return self.total / self.committed
+
+    def edp(self) -> float:
+        """Energy-delay product (pJ · cycles); Figure 10 is its inverse."""
+        return self.total * self.cycles
+
+    def relative_to(self, baseline: "EnergyBreakdown") -> float:
+        """This run's total energy relative to a baseline run."""
+        return self.total / baseline.total
+
+    def shares(self) -> Dict[Component, float]:
+        """Component share of the total energy."""
+        total = self.total
+        if not total:
+            return {c: 0.0 for c in Component}
+        return {
+            c: self.component_total(c) / total for c in Component
+        }
+
+
+class EnergyModel:
+    """Prices :class:`EventCounts` for one core configuration."""
+
+    def __init__(self, config: CoreConfig,
+                 params: EnergyParams = DEFAULT_ENERGY,
+                 device: DeviceParams = DEFAULT_DEVICE):
+        self.config = config
+        self.params = params
+        self.device = device
+        self.area = AreaModel(config)
+
+    # -- geometry scale factors (1.0 at BIG) ---------------------------
+
+    def _iq_scale(self) -> float:
+        config = self.config
+        return ((config.iq_entries / REF_IQ_ENTRIES)
+                * (config.issue_width / REF_ISSUE_WIDTH))
+
+    def _iq_cam_scale(self) -> float:
+        return self.config.issue_width / REF_ISSUE_WIDTH
+
+    def _lsq_scale(self) -> float:
+        config = self.config
+        return (config.lq_entries + config.sq_entries) / REF_LSQ_ENTRIES
+
+    def _prf_scale(self) -> float:
+        config = self.config
+        if config.core_type == "inorder":
+            # Architectural RF: 64 entries, far fewer ports.
+            return 64 / REF_PRF_ENTRIES * 0.5
+        return ((config.int_prf_entries + config.fp_prf_entries)
+                / REF_PRF_ENTRIES)
+
+    def _rat_scale(self) -> float:
+        return self.config.rename_width / REF_RENAME_WIDTH
+
+    def evaluate(self, stats: CoreStats) -> EnergyBreakdown:
+        """Price one run's events into a component breakdown."""
+        events = stats.events
+        params = self.params
+        config = self.config
+        dynamic: Dict[Component, float] = {c: 0.0 for c in Component}
+
+        # Issue queue.
+        iq_scale = self._iq_scale()
+        dynamic[Component.IQ] = (
+            events.iq_dispatches * params.iq_dispatch * iq_scale
+            + events.iq_issues * params.iq_issue * iq_scale
+            + events.iq_cam_compares * params.iq_cam_compare
+            * self._iq_cam_scale()
+        )
+        # Load/store queue.
+        lsq_scale = self._lsq_scale()
+        dynamic[Component.LSQ] = (
+            events.lsq_searches * params.lsq_search * lsq_scale
+            + events.lsq_writes * params.lsq_write * lsq_scale
+        )
+        # Register file(s) + scoreboard.
+        prf_scale = self._prf_scale()
+        dynamic[Component.PRF] = (
+            events.prf_reads * params.prf_read * prf_scale
+            + events.prf_writes * params.prf_write * prf_scale
+            + events.scoreboard_reads * params.scoreboard_read
+        )
+        # Rename.
+        rat_scale = self._rat_scale()
+        dynamic[Component.RAT] = (
+            events.rat_reads * params.rat_read * rat_scale
+            + events.rat_writes * params.rat_write * rat_scale
+        )
+        # Execution units and bypass (the OXU network).  IXU-executed
+        # memory ops acquire the shared memory ports, so they appear in
+        # the MEM pool's counter; their AGU energy belongs to the IXU.
+        oxu_fus = config.total_oxu_fus
+        oxu_mem_ops = events.fu_mem_ops - events.ixu_mem_ops
+        dynamic[Component.FUS] = (
+            events.fu_int_ops * params.fu_int_op
+            + oxu_mem_ops * params.fu_agu_op
+            + events.oxu_bypass_broadcasts * params.bypass_broadcast
+            * (oxu_fus / REF_OXU_FUS)
+            + events.intercluster_forwards * params.intercluster_forward
+            + events.wrongpath_ops * params.wrongpath_op
+        )
+        # The IXU: same simple FUs, its own (separate) bypass network.
+        if config.has_ixu:
+            ixu_fus = config.ixu.total_fus
+            ixu_int_ops = events.ixu_ops - events.ixu_mem_ops
+            dynamic[Component.IXU] = (
+                ixu_int_ops * params.fu_int_op
+                + events.ixu_mem_ops * params.fu_agu_op
+                + events.ixu_bypass_broadcasts * params.bypass_broadcast
+                * (ixu_fus / REF_OXU_FUS)
+            )
+        else:
+            dynamic[Component.IXU] = 0.0
+        # FP units.
+        dynamic[Component.FPU] = events.fu_fp_ops * params.fu_fp_op
+        # Front end.
+        dynamic[Component.DECODER] = events.decoded * params.decode
+        dynamic[Component.OTHERS] = (
+            events.fetched * params.fetch
+            + events.predictor_lookups * params.predictor_lookup
+            + events.rob_allocations * params.rob_alloc
+        )
+        # Caches.
+        dynamic[Component.L1I] = events.l1i_accesses * params.l1i_access
+        dynamic[Component.L1D] = (
+            events.l1d_accesses * params.l1d_access
+            + events.l1d_misses * params.l1d_fill
+        )
+        dynamic[Component.L2] = events.l2_accesses * params.l2_access
+
+        # Static: leakage density x area x cycles.
+        static: Dict[Component, float] = {}
+        areas = self.area.breakdown()
+        for component, area in areas.items():
+            if component is Component.L2:
+                density = params.lstp_leak_pj_per_cycle_mm2
+            else:
+                density = params.hp_leak_pj_per_cycle_mm2
+            static[component] = density * area * events.cycles
+
+        return EnergyBreakdown(
+            model=config.name,
+            benchmark=stats.benchmark,
+            cycles=events.cycles,
+            committed=stats.committed,
+            dynamic=dynamic,
+            static=static,
+        )

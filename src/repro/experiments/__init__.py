@@ -1,0 +1,23 @@
+"""Experiment harness: one regenerator per paper table/figure.
+
+Each ``figureN`` module exposes ``run(...)`` returning structured results
+and ``format_table(results)`` rendering the same series the paper plots;
+``python -m repro.experiments.cli <experiment>`` drives them from the
+command line.
+"""
+
+from repro.experiments.runner import (
+    BenchmarkRun,
+    run_benchmark,
+    geomean,
+    DEFAULT_MEASURE,
+    DEFAULT_WARMUP,
+)
+
+__all__ = [
+    "BenchmarkRun",
+    "run_benchmark",
+    "geomean",
+    "DEFAULT_MEASURE",
+    "DEFAULT_WARMUP",
+]

@@ -1,0 +1,119 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    fxa-experiments table1
+    fxa-experiments figure7 --measure 4000 --benchmarks hmmer mcf lbm
+    fxa-experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import (
+    figure7, figure8, figure9, figure10, figure11, figure12, figure13,
+    headline, related_work, reno, sensitivity, tables,
+)
+from repro.workloads import ALL_BENCHMARKS
+
+_SIM_EXPERIMENTS = {
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+    "headline": headline,
+    "sensitivity": sensitivity,
+    "related_work": related_work,
+    "reno": reno,
+}
+
+
+def _run_one(name: str, benchmarks: Optional[List[str]],
+             measure: int, warmup: int, chart: bool = False):
+    """Run one experiment; returns (rendered text, raw results)."""
+    if name == "table1":
+        results = tables.table1()
+        return tables.format_table1(results), results
+    if name == "table2":
+        results = tables.table2()
+        return tables.format_table2(results), results
+    if name == "figure9":
+        results = figure9.run()
+        return figure9.format_table(results), results
+    module = _SIM_EXPERIMENTS[name]
+    results = module.run(
+        benchmarks=benchmarks, measure=measure, warmup=warmup
+    )
+    text = module.format_table(results)
+    if chart and hasattr(module, "format_chart"):
+        text += "\n\n" + module.format_chart(results)
+    return text, results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    names = ["table1", "table2", "figure7", "figure8", "figure9",
+             "figure10", "figure11", "figure12", "figure13", "headline",
+             "sensitivity", "related_work", "reno"]
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument("experiment", choices=names + ["all"])
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None,
+        help="Benchmark subset (default: all 29).",
+    )
+    parser.add_argument(
+        "--measure", type=int, default=8000,
+        help="Measured instructions per run (default 8000).",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=30000,
+        help="Functional warm-up instructions (default 30000).",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="Append a text chart to experiments that support one.",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", default=None,
+        help="Also dump raw results for all experiments to this file.",
+    )
+    args = parser.parse_args(argv)
+    if args.benchmarks:
+        unknown = set(args.benchmarks) - set(ALL_BENCHMARKS)
+        if unknown:
+            parser.error(f"unknown benchmarks: {sorted(unknown)}")
+    todo = names if args.experiment == "all" else [args.experiment]
+    collected = {}
+    for name in todo:
+        started = time.time()
+        text, results = _run_one(name, args.benchmarks, args.measure,
+                                 args.warmup, chart=args.chart)
+        print(text)
+        print(f"[{name}: {time.time() - started:.1f}s]")
+        print()
+        collected[name] = results
+    if args.json_path:
+        with open(args.json_path, "w") as stream:
+            json.dump(collected, stream, indent=2, sort_keys=True)
+        print(f"raw results written to {args.json_path}")
+    return 0
+
+
+def run() -> int:
+    """Console-script entry point; tolerant of closed output pipes."""
+    try:
+        return main()
+    except BrokenPipeError:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,83 @@
+"""Figure 7: IPC relative to BIG, per benchmark, for all five models.
+
+The paper plots one bar group per SPEC CPU2006 program (INT then FP) for
+LITTLE, BIG, BIG+FX, HALF and HALF+FX, plus geometric means for the INT
+group, FP group and all programs.  ``run`` returns the same series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core import model_config, MODEL_NAMES
+from repro.experiments.runner import (
+    DEFAULT_MEASURE,
+    DEFAULT_WARMUP,
+    geomean,
+    run_benchmark,
+)
+from repro.workloads import FP_BENCHMARKS, INT_BENCHMARKS
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    models: Sequence[str] = MODEL_NAMES,
+    measure: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+) -> Dict[str, Dict[str, float]]:
+    """Simulate and return {model: {benchmark|mean-label: relative IPC}}.
+
+    Values are IPC relative to BIG on the same benchmark, exactly as the
+    figure's y-axis.
+    """
+    benchmarks = list(benchmarks or (INT_BENCHMARKS + FP_BENCHMARKS))
+    int_set = [b for b in benchmarks if b in INT_BENCHMARKS]
+    fp_set = [b for b in benchmarks if b in FP_BENCHMARKS]
+    base_ipc: Dict[str, float] = {}
+    for bench in benchmarks:
+        base_ipc[bench] = run_benchmark(
+            model_config("BIG"), bench, measure, warmup
+        ).ipc
+    results: Dict[str, Dict[str, float]] = {}
+    for model in models:
+        config = model_config(model)
+        rel: Dict[str, float] = {}
+        for bench in benchmarks:
+            run_result = run_benchmark(config, bench, measure, warmup)
+            rel[bench] = run_result.ipc / base_ipc[bench]
+        if int_set:
+            rel["mean(INT)"] = geomean([rel[b] for b in int_set])
+        if fp_set:
+            rel["mean(FP)"] = geomean([rel[b] for b in fp_set])
+        rel["mean"] = geomean([rel[b] for b in benchmarks])
+        results[model] = rel
+    return results
+
+
+def format_table(results: Dict[str, Dict[str, float]]) -> str:
+    """Render the figure's series as a text table."""
+    models = list(results)
+    rows = list(next(iter(results.values())))
+    lines = ["Figure 7: IPC relative to BIG",
+             f"{'benchmark':14s}" + "".join(f"{m:>10s}" for m in models)]
+    for row in rows:
+        cells = "".join(f"{results[m][row]:10.3f}" for m in models)
+        lines.append(f"{row:14s}{cells}")
+    return "\n".join(lines)
+
+
+def format_chart(results: Dict[str, Dict[str, float]]) -> str:
+    """Bar chart of the geometric means (the figure's right-hand bars)."""
+    from repro.experiments.textchart import bar_chart
+
+    means = {model: rel["mean"] for model, rel in results.items()}
+    return bar_chart(means, title="Figure 7 (geomean IPC vs BIG)",
+                     reference=1.0)
+
+
+def main() -> None:
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

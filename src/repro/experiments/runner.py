@@ -1,0 +1,111 @@
+"""Shared simulation driver for the experiment modules.
+
+Mirrors the paper's methodology at Python scale: the paper skips 4 G
+instructions and measures 100 M; we functionally warm the predictor and
+caches on a prefix of the same instruction stream and measure a cycle-
+accurate interval after it.  Runs are memoised per process so that the
+figures sharing a (model, benchmark) pair do not re-simulate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.core import CoreConfig, CoreStats, build_core
+from repro.core.warmup import functional_warmup
+from repro.energy import EnergyBreakdown, EnergyModel
+from repro.workloads import (
+    TraceGenerator,
+    build_program,
+    get_profile,
+    renumber_trace,
+)
+
+#: Default measured-interval length (dynamic instructions).
+DEFAULT_MEASURE = 8_000
+#: Default functional warm-up length.
+DEFAULT_WARMUP = 30_000
+
+
+@dataclass(frozen=True)
+class BenchmarkRun:
+    """One (model, benchmark) simulation plus its energy breakdown."""
+
+    model: str
+    benchmark: str
+    stats: CoreStats
+    energy: EnergyBreakdown
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+    @property
+    def per(self) -> float:
+        """Performance/energy ratio = 1 / EDP (unnormalised)."""
+        edp = self.energy.edp()
+        return 1.0 / edp if edp else 0.0
+
+
+_CACHE: Dict[Tuple, BenchmarkRun] = {}
+
+
+def _config_key(config: CoreConfig) -> Tuple:
+    ixu = config.ixu
+    ixu_key = None
+    if ixu is not None:
+        ixu_key = (ixu.stage_fus, ixu.bypass_stage_limit,
+                   ixu.execute_mem_ops, ixu.execute_branches)
+    return (config.name, config.core_type, config.issue_width,
+            config.iq_entries, config.rob_entries, config.fu_int,
+            config.fu_mem, config.fu_fp, config.fetch_width, ixu_key)
+
+
+def run_benchmark(
+    config: CoreConfig,
+    benchmark: str,
+    measure: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> BenchmarkRun:
+    """Simulate one benchmark on one core model (memoised)."""
+    key = (_config_key(config), benchmark, measure, warmup, seed)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    generator = TraceGenerator(
+        build_program(get_profile(benchmark), seed=seed), seed=seed
+    )
+    warm_trace = generator.generate(warmup)
+    measure_trace = renumber_trace(generator.generate(measure))
+    core = build_core(config)
+    functional_warmup(core, warm_trace)
+    stats = core.run(measure_trace)
+    stats.benchmark = benchmark
+    energy = EnergyModel(config).evaluate(stats)
+    run = BenchmarkRun(model=config.name, benchmark=benchmark,
+                       stats=stats, energy=energy)
+    if use_cache:
+        _CACHE[key] = run
+    return run
+
+
+def clear_cache() -> None:
+    """Drop all memoised runs (tests use this)."""
+    _CACHE.clear()
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper aggregates every figure this way."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

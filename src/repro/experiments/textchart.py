@@ -1,0 +1,92 @@
+"""Plain-text bar charts for experiment results.
+
+The paper's figures are bar charts; these helpers render the same data
+as unicode bars so results read naturally in a terminal or a README —
+no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """Render ``value`` as a bar of at most ``width`` characters."""
+    if scale <= 0:
+        return ""
+    cells = max(0.0, value / scale) * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * 8)] if full < width else ""
+    return "█" * min(full, width) + partial
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    reference: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """One bar per entry, labels left, values right.
+
+    ``reference`` draws a marker column at that value (e.g. 1.0 for
+    relative-to-BIG charts).
+    """
+    if not values:
+        return title
+    label_width = max(len(label) for label in values)
+    scale = max(list(values.values())
+                + ([reference] if reference else []))
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = _bar(value, scale, width)
+        marker = ""
+        if reference is not None and scale > 0:
+            position = int(reference / scale * width)
+            padded = bar.ljust(width)
+            if position < width:
+                marker_char = "|" if len(bar) <= position else "¦"
+                padded = (padded[:position] + marker_char
+                          + padded[position + 1:])
+            bar = padded
+        lines.append(
+            f"{label:<{label_width}}  {bar}  " + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def grouped_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 30,
+) -> str:
+    """Nested chart: one block of bars per outer key."""
+    lines = [title] if title else []
+    for group, values in groups.items():
+        lines.append(f"-- {group}")
+        lines.append(bar_chart(values, width=width))
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def series_chart(
+    series: Mapping[str, Mapping[int, float]],
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render {line: {x: y}} as an aligned text table (Figures 12/13)."""
+    lines = [title] if title else []
+    xs: Sequence[int] = sorted(
+        {x for values in series.values() for x in values}
+    )
+    lines.append("x     " + "".join(f"{x:>9d}" for x in xs))
+    for label, values in series.items():
+        cells = "".join(
+            f"{fmt.format(values[x]):>9s}" if x in values else " " * 9
+            for x in xs
+        )
+        lines.append(f"{label:<6s}{cells}")
+    return "\n".join(lines)

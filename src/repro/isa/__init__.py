@@ -1,0 +1,46 @@
+"""Micro-ISA used by the simulator.
+
+The paper evaluates an Alpha-binary workload on a cycle-accurate simulator.
+This package defines the Alpha-like abstract ISA the reproduction simulates:
+operation classes with latencies and functional-unit requirements, the
+logical register namespace, and the dynamic-instruction record that traces
+are made of.
+"""
+
+from repro.isa.opclass import (
+    FUType,
+    OpClass,
+    LATENCY,
+    FU_FOR_OPCLASS,
+    is_branch,
+    is_fp,
+    is_mem,
+)
+from repro.isa.registers import (
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    RegClass,
+    Reg,
+    int_reg,
+    fp_reg,
+    ZERO_REG,
+)
+from repro.isa.instruction import DynInst
+
+__all__ = [
+    "FUType",
+    "OpClass",
+    "LATENCY",
+    "FU_FOR_OPCLASS",
+    "is_branch",
+    "is_fp",
+    "is_mem",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "RegClass",
+    "Reg",
+    "int_reg",
+    "fp_reg",
+    "ZERO_REG",
+    "DynInst",
+]

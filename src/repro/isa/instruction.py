@@ -1,0 +1,103 @@
+"""Dynamic instruction record — the unit of a simulation trace.
+
+The simulator is trace-driven: the workload generator produces a stream of
+``DynInst`` records carrying everything the timing model needs (op class,
+register operands, memory address, branch outcome).  The cores annotate a
+*shadow* of per-instruction pipeline state elsewhere; the trace record
+itself stays immutable so a trace can be replayed across models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.opclass import (
+    OpClass,
+    is_branch,
+    is_load,
+    is_mem,
+    is_store,
+)
+from repro.isa.registers import Reg
+
+
+@dataclass(frozen=True)
+class DynInst:
+    """One dynamic instruction as it appears in a trace.
+
+    Attributes:
+        seq: Position in the dynamic instruction stream (0-based).
+        pc: Instruction address; repeated PCs let predictors train.
+        op: Operation class.
+        dest: Destination logical register, or None.
+        srcs: Source logical registers (zero registers are pre-filtered
+            by the generator and never appear here).
+        mem_addr: Effective address for loads/stores, else None.
+        mem_size: Access size in bytes for loads/stores, else 0.
+        taken: Branch outcome for control instructions, else False.
+        target: Branch target address when taken, else None.
+    """
+
+    seq: int
+    pc: int
+    op: OpClass
+    dest: Optional[Reg] = None
+    srcs: Tuple[Reg, ...] = field(default=())
+    mem_addr: Optional[int] = None
+    mem_size: int = 0
+    taken: bool = False
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if is_mem(self.op) and self.mem_addr is None:
+            raise ValueError(f"{self.op} requires a memory address")
+        if not is_mem(self.op) and self.mem_addr is not None:
+            raise ValueError(f"{self.op} must not carry a memory address")
+        if self.taken and self.target is None:
+            raise ValueError("taken branch requires a target")
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-transfer instruction."""
+        return is_branch(self.op)
+
+    @property
+    def is_mem(self) -> bool:
+        """True for loads and stores."""
+        return is_mem(self.op)
+
+    @property
+    def is_load(self) -> bool:
+        """True for loads (either register class)."""
+        return is_load(self.op)
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores (either register class)."""
+        return is_store(self.op)
+
+    @property
+    def fall_through(self) -> int:
+        """Address of the next sequential instruction."""
+        return self.pc + 4
+
+    @property
+    def next_pc(self) -> int:
+        """Address control actually flows to after this instruction."""
+        if self.taken and self.target is not None:
+            return self.target
+        return self.fall_through
+
+    def __repr__(self) -> str:
+        operands = ", ".join(repr(s) for s in self.srcs)
+        dest = f"{self.dest!r} <- " if self.dest is not None else ""
+        extra = ""
+        if self.is_mem:
+            extra = f" [0x{self.mem_addr:x}]"
+        elif self.is_branch:
+            extra = f" ({'T' if self.taken else 'NT'})"
+        return (
+            f"<#{self.seq} pc=0x{self.pc:x} {self.op.value} "
+            f"{dest}{operands}{extra}>"
+        )

@@ -1,0 +1,154 @@
+"""Operation classes, execution latencies and functional-unit requirements.
+
+The paper's workloads are Alpha binaries; instructions fall into the usual
+classes: simple integer ALU operations (logical/add-sub/shift), integer
+multiply/divide, floating-point arithmetic, loads, stores, and branches.
+The IXU executes integer, branch and (port-permitting) memory operations;
+it deliberately has no FP units (paper Section II-D2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Dynamic-instruction operation class."""
+
+    INT_ALU = "int_alu"      # add/sub/logical/shift/compare, 1-cycle
+    MOV = "mov"              # register move (RENO-eliminable)
+    INT_MUL = "int_mul"      # integer multiply
+    INT_DIV = "int_div"      # integer divide (unpipelined in real cores)
+    FP_ADD = "fp_add"        # FP add/sub/convert
+    FP_MUL = "fp_mul"        # FP multiply
+    FP_DIV = "fp_div"        # FP divide/sqrt
+    LOAD = "load"            # integer load
+    STORE = "store"          # integer store
+    FP_LOAD = "fp_load"      # FP load
+    FP_STORE = "fp_store"    # FP store
+    BR_COND = "br_cond"      # conditional branch
+    BR_UNCOND = "br_uncond"  # unconditional direct branch/jump
+    CALL = "call"            # direct call (pushes RAS)
+    RET = "ret"              # return (pops RAS)
+    NOP = "nop"              # no-op
+
+
+class FUType(enum.Enum):
+    """Functional-unit pools; Table I gives per-model counts (int, mem, fp)."""
+
+    INT = "int"
+    MEM = "mem"
+    FP = "fp"
+
+
+#: Execution latency in cycles once issued to a functional unit.  Loads add
+#: the memory-hierarchy latency on top of the 1-cycle address generation.
+LATENCY = {
+    OpClass.INT_ALU: 1,
+    OpClass.MOV: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.INT_DIV: 12,
+    OpClass.FP_ADD: 3,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 16,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.FP_LOAD: 1,
+    OpClass.FP_STORE: 1,
+    OpClass.BR_COND: 1,
+    OpClass.BR_UNCOND: 1,
+    OpClass.CALL: 1,
+    OpClass.RET: 1,
+    OpClass.NOP: 1,
+}
+
+#: Which FU pool each op class issues to.
+FU_FOR_OPCLASS = {
+    OpClass.INT_ALU: FUType.INT,
+    OpClass.MOV: FUType.INT,
+    OpClass.INT_MUL: FUType.INT,
+    OpClass.INT_DIV: FUType.INT,
+    OpClass.FP_ADD: FUType.FP,
+    OpClass.FP_MUL: FUType.FP,
+    OpClass.FP_DIV: FUType.FP,
+    OpClass.LOAD: FUType.MEM,
+    OpClass.STORE: FUType.MEM,
+    OpClass.FP_LOAD: FUType.MEM,
+    OpClass.FP_STORE: FUType.MEM,
+    OpClass.BR_COND: FUType.INT,
+    OpClass.BR_UNCOND: FUType.INT,
+    OpClass.CALL: FUType.INT,
+    OpClass.RET: FUType.INT,
+    OpClass.NOP: FUType.INT,
+}
+
+_BRANCHES = frozenset(
+    {OpClass.BR_COND, OpClass.BR_UNCOND, OpClass.CALL, OpClass.RET}
+)
+_FP_OPS = frozenset({OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV})
+_MEM_OPS = frozenset(
+    {OpClass.LOAD, OpClass.STORE, OpClass.FP_LOAD, OpClass.FP_STORE}
+)
+_LOADS = frozenset({OpClass.LOAD, OpClass.FP_LOAD})
+_STORES = frozenset({OpClass.STORE, OpClass.FP_STORE})
+
+#: Op classes the IXU can execute.  The IXU's FUs are simple 1-cycle
+#: integer units — adder, shifter, logic (paper Figure 6) — so integer
+#: multiply/divide are excluded along with FP arithmetic (no FP units in
+#: the IXU, Section II-D2).  FP loads/stores are address generation on
+#: the memory port and are eligible subject to port arbitration.
+IXU_ELIGIBLE = frozenset(
+    {
+        OpClass.INT_ALU,
+        OpClass.MOV,
+        OpClass.LOAD,
+        OpClass.STORE,
+        OpClass.FP_LOAD,
+        OpClass.FP_STORE,
+        OpClass.BR_COND,
+        OpClass.BR_UNCOND,
+        OpClass.CALL,
+        OpClass.RET,
+        OpClass.NOP,
+    }
+)
+
+#: "INT operations" in the paper's Section VI-C sense: logical, add/sub,
+#: shift and branch instructions, excluding loads/stores.
+INT_OPERATIONS = frozenset(
+    {
+        OpClass.INT_ALU,
+        OpClass.MOV,
+        OpClass.INT_MUL,
+        OpClass.INT_DIV,
+        OpClass.BR_COND,
+        OpClass.BR_UNCOND,
+        OpClass.CALL,
+        OpClass.RET,
+    }
+)
+
+
+def is_branch(op: OpClass) -> bool:
+    """Return True for any control-transfer op class."""
+    return op in _BRANCHES
+
+
+def is_fp(op: OpClass) -> bool:
+    """Return True for FP *arithmetic* (not FP loads/stores)."""
+    return op in _FP_OPS
+
+
+def is_mem(op: OpClass) -> bool:
+    """Return True for loads and stores of either register class."""
+    return op in _MEM_OPS
+
+
+def is_load(op: OpClass) -> bool:
+    """Return True for integer and FP loads."""
+    return op in _LOADS
+
+
+def is_store(op: OpClass) -> bool:
+    """Return True for integer and FP stores."""
+    return op in _STORES

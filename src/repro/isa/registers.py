@@ -1,0 +1,63 @@
+"""Logical register namespace.
+
+The Alpha ISA has 32 integer and 32 FP registers; register 31 of each file
+reads as zero and writes to it are discarded.  We model registers as small
+immutable value objects so that generators and the renamer cannot confuse
+the two classes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Index of the hard-wired zero register within each class.
+ZERO_INDEX = 31
+
+
+class RegClass(enum.Enum):
+    """Architectural register file a logical register belongs to."""
+
+    INT = "int"
+    FP = "fp"
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A logical (architectural) register."""
+
+    cls: RegClass
+    index: int
+
+    def __post_init__(self) -> None:
+        limit = NUM_INT_REGS if self.cls is RegClass.INT else NUM_FP_REGS
+        if not 0 <= self.index < limit:
+            raise ValueError(
+                f"register index {self.index} out of range for {self.cls}"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this is the hard-wired zero register (r31/f31)."""
+        return self.index == ZERO_INDEX
+
+    def __repr__(self) -> str:
+        prefix = "r" if self.cls is RegClass.INT else "f"
+        return f"{prefix}{self.index}"
+
+
+def int_reg(index: int) -> Reg:
+    """Build an integer logical register."""
+    return Reg(RegClass.INT, index)
+
+
+def fp_reg(index: int) -> Reg:
+    """Build a floating-point logical register."""
+    return Reg(RegClass.FP, index)
+
+
+#: Canonical integer zero register (Alpha r31).
+ZERO_REG = int_reg(ZERO_INDEX)

@@ -1,0 +1,11 @@
+"""The in-order execution unit (IXU) — the paper's contribution.
+
+The IXU is a stall-free in-order execution pipeline of FUs plus a bypass
+network, placed between rename and dispatch.  This package provides the
+structural pieces (per-stage FU accounting and the bypass-reachability
+registry); :class:`repro.core.FXACore` drives them inside the pipeline.
+"""
+
+from repro.ixu.pipeline import BypassRegistry, StageFUUsage
+
+__all__ = ["BypassRegistry", "StageFUUsage"]

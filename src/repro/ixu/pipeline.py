@@ -1,0 +1,117 @@
+"""IXU structural models: stage-FU occupancy and bypass reachability.
+
+Bypass semantics (paper Section II-C and Figure 6): an instruction that
+executes at stage *s* in cycle *t* carries its result down the pipe on the
+pass-through path, re-driving it at each later stage, so at a later cycle
+*t'* the value is sourced from stage ``s + (t' - t)``.  A consumer at
+stage ``s_c`` can receive it iff
+
+* the value is ready (``t' >= value_ready``, 1 cycle after an ALU op,
+  the cache-fill cycle for a load),
+* the producer is still inside (or just exiting) the pipe
+  (``s + (t' - t) <= depth``), and
+* the wire exists: ``(s + (t' - t)) - s_c <= bypass_stage_limit``
+  (the "opt" network omits wires between FUs more than two stages
+  apart, Section III-A2; the full network has no limit).
+
+There is deliberately no OXU→IXU path (Section III-A1): values produced
+in the OXU reach later instructions only through the PRF at their
+front-end register read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.isa.registers import RegClass
+
+
+@dataclass
+class _Produced:
+    """One IXU-produced value's bypass coordinates."""
+
+    producer: object           # InFlight, used to drop squashed entries
+    exec_cycle: int
+    exec_pos: int
+    value_ready: int
+
+
+class BypassRegistry:
+    """Tracks IXU-produced values for bypass-reachability queries."""
+
+    def __init__(self, depth: int, stage_limit: Optional[int]):
+        self.depth = depth
+        self.stage_limit = stage_limit
+        self._values: Dict[Tuple[RegClass, int], _Produced] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def record(self, cls: RegClass, preg: int, producer,
+               exec_cycle: int, exec_pos: int, value_ready: int) -> None:
+        """An IXU FU produced (cls, preg)."""
+        self._values[(cls, preg)] = _Produced(
+            producer=producer,
+            exec_cycle=exec_cycle,
+            exec_pos=exec_pos,
+            value_ready=value_ready,
+        )
+
+    def available(self, cls: RegClass, preg: int, cycle: int,
+                  consumer_pos: int) -> bool:
+        """Can a consumer FU at ``consumer_pos`` receive (cls, preg) now?"""
+        produced = self._values.get((cls, preg))
+        if produced is None or produced.producer.squashed:
+            return False
+        if cycle < produced.value_ready:
+            return False
+        current_pos = produced.exec_pos + (cycle - produced.exec_cycle)
+        if current_pos > self.depth:
+            return False  # value now lives only in the PRF
+        if self.stage_limit is not None:
+            if current_pos - consumer_pos > self.stage_limit:
+                return False
+        return True
+
+    def prune(self, cycle: int) -> None:
+        """Drop values that can never be bypassed again."""
+        dead = [
+            key for key, produced in self._values.items()
+            if produced.producer.squashed
+            or produced.exec_pos + (cycle - produced.exec_cycle)
+            > self.depth
+        ]
+        for key in dead:
+            del self._values[key]
+
+    def drop_squashed(self) -> None:
+        """Remove records whose producers were squashed."""
+        dead = [
+            key for key, produced in self._values.items()
+            if produced.producer.squashed
+        ]
+        for key in dead:
+            del self._values[key]
+
+
+class StageFUUsage:
+    """Per-cycle, per-stage FU occupancy of the IXU."""
+
+    def __init__(self, stage_fus: Tuple[int, ...]):
+        self.stage_fus = stage_fus
+        self._used: Dict[Tuple[int, int], int] = {}
+
+    def try_use(self, cycle: int, stage: int) -> bool:
+        """Claim one FU at ``stage`` this cycle; False when all busy."""
+        capacity = self.stage_fus[stage]
+        key = (cycle, stage)
+        used = self._used.get(key, 0)
+        if used >= capacity:
+            return False
+        self._used[key] = used + 1
+        if len(self._used) > 256:
+            self._used = {
+                k: v for k, v in self._used.items() if k[0] >= cycle
+            }
+        return True

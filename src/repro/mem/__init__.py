@@ -1,0 +1,19 @@
+"""Memory hierarchy: set-associative caches, L2, and main memory.
+
+Table I parameters: L1I 48 KB/12-way/2-cycle, L1D 32 KB/8-way/2-cycle,
+L2 512 KB/8-way/12-cycle, 64 B lines everywhere, 200-cycle main memory.
+The model is latency-oriented (no bandwidth or MSHR contention): an access
+returns the cycles it takes and records per-level hit/miss events for the
+energy model.
+"""
+
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.hierarchy import AccessResult, CacheHierarchy, HierarchyConfig
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "AccessResult",
+    "CacheHierarchy",
+    "HierarchyConfig",
+]

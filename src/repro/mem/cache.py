@@ -1,0 +1,128 @@
+"""Single-level set-associative cache with LRU replacement.
+
+Write policy is write-back/write-allocate; a victim's dirty bit is
+surfaced so the hierarchy can charge the write-back traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Per-cache access counters (feeds the energy model)."""
+
+    reads: int = 0
+    writes: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate
+
+
+class Cache:
+    """A set-associative, write-back, write-allocate cache.
+
+    Args:
+        name: Label for reporting ("L1D", ...).
+        size_kb: Capacity in KiB.
+        ways: Associativity.
+        line_bytes: Line size (64 in the paper).
+    """
+
+    def __init__(self, name: str, size_kb: int, ways: int,
+                 line_bytes: int = 64):
+        size = size_kb * 1024
+        if size % (ways * line_bytes):
+            raise ValueError("size must divide evenly into ways*lines")
+        self.name = name
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = size // (ways * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: set count must be a power of two")
+        self.stats = CacheStats()
+        # Each set: tag -> dirty flag, insertion-ordered oldest-first.
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    @property
+    def size_bytes(self) -> int:
+        """Total data capacity in bytes."""
+        return self.num_sets * self.ways * self.line_bytes
+
+    def _locate(self, addr: int) -> Tuple[OrderedDict, int]:
+        line = addr // self.line_bytes
+        return self._sets[line & (self.num_sets - 1)], line
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive lookup; does not touch LRU state or stats."""
+        entry_set, tag = self._locate(addr)
+        return tag in entry_set
+
+    def access(self, addr: int, is_write: bool) -> Tuple[bool, bool]:
+        """Access the line containing ``addr``.
+
+        Returns:
+            (hit, victim_dirty): whether the access hit, and whether a
+            dirty victim line was evicted on the fill.
+        """
+        entry_set, tag = self._locate(addr)
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if tag in entry_set:
+            entry_set.move_to_end(tag)
+            if is_write:
+                entry_set[tag] = True
+            return True, False
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        victim_dirty = False
+        if len(entry_set) >= self.ways:
+            _, victim_dirty = entry_set.popitem(last=False)
+            if victim_dirty:
+                self.stats.writebacks += 1
+        entry_set[tag] = is_write
+        return False, victim_dirty
+
+    def fill(self, addr: int) -> None:
+        """Install a line without touching demand statistics (prefetch)."""
+        entry_set, tag = self._locate(addr)
+        if tag in entry_set:
+            entry_set.move_to_end(tag)
+            return
+        if len(entry_set) >= self.ways:
+            _, victim_dirty = entry_set.popitem(last=False)
+            if victim_dirty:
+                self.stats.writebacks += 1
+        entry_set[tag] = False
+
+    def invalidate_all(self) -> None:
+        """Drop every line (used by tests)."""
+        for entry_set in self._sets:
+            entry_set.clear()

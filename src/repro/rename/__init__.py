@@ -1,0 +1,26 @@
+"""Register renaming: RAT, free lists, physical register file, scoreboard.
+
+The paper's baseline is a physical-register-file architecture (MIPS
+R10000 / Alpha 21264 style, Section II-A): the RAT maps logical registers
+to PRF entries, a free list supplies fresh physical registers, the previous
+mapping is reclaimed at commit, and a 1-bit-per-entry PRF scoreboard tracks
+which physical registers hold valid values.  FXA reads that scoreboard in
+the front end (twice per instruction — Section III-C) to decide whether an
+instruction can execute in the IXU.
+"""
+
+from repro.rename.freelist import FreeList
+from repro.rename.rat import RAT, RenameUndo
+from repro.rename.prf import PhysicalRegisterFile
+from repro.rename.scoreboard import Scoreboard
+from repro.rename.renamer import RenamedOperands, Renamer
+
+__all__ = [
+    "FreeList",
+    "RAT",
+    "RenameUndo",
+    "PhysicalRegisterFile",
+    "Scoreboard",
+    "RenamedOperands",
+    "Renamer",
+]

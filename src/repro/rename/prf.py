@@ -1,0 +1,74 @@
+"""Physical register file: readiness timestamps plus port accounting.
+
+The timing model represents a physical register's *value* by the cycle it
+becomes available (``ready_cycle``).  A register is ready at cycle ``c``
+when ``ready_cycle <= c`` — this one comparison implements both the PRF
+scoreboard check and operand wakeup.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Ready-from-the-start marker for architectural values.
+ALWAYS_READY = 0
+#: Not-yet-written marker.
+NEVER = 1 << 60
+
+
+class PhysicalRegisterFile:
+    """One class's physical register file (Table I: 128 INT / 96 FP).
+
+    Tracks per-entry readiness cycles and counts read/write port events
+    for the energy model.  Port *sharing* between the IXU and OXU is a
+    structural property handled by the energy/area model; the timing
+    model does not throttle PRF bandwidth (the paper argues the shared
+    ports do not change latency, Section III-B).
+    """
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError("PRF needs at least one entry")
+        self.entries = entries
+        # Two timestamps per entry: when the value is on a bypass wire
+        # (wakeup/issue readiness) and when it is physically written to
+        # the PRF (front-end scoreboard visibility).  An IXU-executed
+        # instruction's result is bypassable one cycle after execution
+        # but reaches the PRF only after it exits the IXU (paper
+        # Section II-B), so the two differ by several cycles.
+        self._ready: List[int] = [ALWAYS_READY] * entries
+        self._written: List[int] = [ALWAYS_READY] * entries
+        self.reads = 0
+        self.writes = 0
+
+    def mark_pending(self, reg_id: int) -> None:
+        """A new producer was renamed onto ``reg_id``; value not ready."""
+        self._ready[reg_id] = NEVER
+        self._written[reg_id] = NEVER
+
+    def mark_ready(self, reg_id: int, cycle: int) -> None:
+        """The value is bypassable from ``cycle``; counts the PRF write."""
+        self._ready[reg_id] = cycle
+        self.writes += 1
+
+    def mark_written(self, reg_id: int, cycle: int) -> None:
+        """The value is readable *from the PRF* from ``cycle``."""
+        self._written[reg_id] = cycle
+
+    def ready_cycle(self, reg_id: int) -> int:
+        """Cycle at which the value is bypassable (wakeup view)."""
+        return self._ready[reg_id]
+
+    def is_ready(self, reg_id: int, cycle: int) -> bool:
+        """Scoreboard view: is the value *in the PRF* at ``cycle``?"""
+        return self._written[reg_id] <= cycle
+
+    def read(self, reg_id: int) -> int:
+        """Read a value (counts a PRF read); returns its written cycle."""
+        self.reads += 1
+        return self._written[reg_id]
+
+    def reset_entry(self, reg_id: int) -> None:
+        """Reclaim an entry on squash: it holds no pending value."""
+        self._ready[reg_id] = ALWAYS_READY
+        self._written[reg_id] = ALWAYS_READY

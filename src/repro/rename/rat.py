@@ -1,0 +1,58 @@
+"""Register alias table with undo support for squashes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.isa.registers import Reg
+
+
+@dataclass(frozen=True)
+class RenameUndo:
+    """Record to reverse one rename on a pipeline squash."""
+
+    logical: Reg
+    old_physical: int
+    new_physical: int
+
+
+class RAT:
+    """Speculative logical-to-physical map.
+
+    Squash recovery is walk-back style: every rename yields a
+    :class:`RenameUndo` which the core keeps with the in-flight
+    instruction; undoing youngest-first restores the map exactly.
+    """
+
+    def __init__(self, initial_map: Dict[Reg, int]):
+        self._map: Dict[Reg, int] = dict(initial_map)
+        self.reads = 0
+        self.writes = 0
+
+    def lookup(self, logical: Reg) -> int:
+        """Read the current mapping (counts a RAT read port access)."""
+        self.reads += 1
+        return self._map[logical]
+
+    def rename(self, logical: Reg, new_physical: int) -> RenameUndo:
+        """Point ``logical`` at ``new_physical``; returns the undo record."""
+        old = self._map[logical]
+        self._map[logical] = new_physical
+        self.writes += 1
+        return RenameUndo(logical=logical, old_physical=old,
+                          new_physical=new_physical)
+
+    def undo(self, record: RenameUndo) -> None:
+        """Reverse one rename (squash path; youngest-first)."""
+        current = self._map[record.logical]
+        if current != record.new_physical:
+            raise RuntimeError(
+                "undo out of order: expected "
+                f"{record.new_physical}, found {current}"
+            )
+        self._map[record.logical] = record.old_physical
+
+    def snapshot(self) -> Dict[Reg, int]:
+        """Copy of the current map (architectural checkpoint for tests)."""
+        return dict(self._map)

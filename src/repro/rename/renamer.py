@@ -1,0 +1,174 @@
+"""Renamer: ties the RATs, free lists and PRFs into one rename port.
+
+The cores call :meth:`Renamer.rename` once per instruction in program
+order; squashes undo youngest-first via the returned records, and commit
+releases the previous mapping of each destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.isa.instruction import DynInst
+from repro.isa.registers import (
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    Reg,
+    RegClass,
+    fp_reg,
+    int_reg,
+)
+from repro.rename.freelist import FreeList
+from repro.rename.prf import PhysicalRegisterFile
+from repro.rename.rat import RAT, RenameUndo
+from repro.rename.scoreboard import Scoreboard
+
+
+@dataclass(frozen=True)
+class RenamedOperands:
+    """Physical operands of one renamed instruction.
+
+    ``srcs`` pairs each source with its register class; ``dest`` is the
+    freshly-allocated physical destination (or None); ``undo`` reverses
+    the RAT update on a squash; ``old_dest`` is released at commit.
+    ``eliminated`` marks a RENO-eliminated move: ``dest`` then *aliases*
+    the source's physical register instead of naming a fresh one.
+    """
+
+    srcs: Tuple[Tuple[RegClass, int], ...]
+    dest_cls: Optional[RegClass]
+    dest: Optional[int]
+    old_dest: Optional[int]
+    undo: Optional[RenameUndo]
+    eliminated: bool = False
+
+
+class Renamer:
+    """Physical-register renaming for both register classes.
+
+    Args:
+        int_prf_entries: INT PRF capacity (Table I: 128).
+        fp_prf_entries: FP PRF capacity (Table I: 96).
+    """
+
+    def __init__(self, int_prf_entries: int = 128,
+                 fp_prf_entries: int = 96):
+        if int_prf_entries <= NUM_INT_REGS:
+            raise ValueError("INT PRF must exceed the logical registers")
+        if fp_prf_entries <= NUM_FP_REGS:
+            raise ValueError("FP PRF must exceed the logical registers")
+        self.prf = {
+            RegClass.INT: PhysicalRegisterFile(int_prf_entries),
+            RegClass.FP: PhysicalRegisterFile(fp_prf_entries),
+        }
+        self.scoreboard = {
+            cls: Scoreboard(prf) for cls, prf in self.prf.items()
+        }
+        # Architectural registers start mapped to the first N pregs.
+        int_map: Dict[Reg, int] = {
+            int_reg(i): i for i in range(NUM_INT_REGS)
+        }
+        fp_map: Dict[Reg, int] = {
+            fp_reg(i): i for i in range(NUM_FP_REGS)
+        }
+        self.rat = {
+            RegClass.INT: RAT(int_map),
+            RegClass.FP: RAT(fp_map),
+        }
+        self.free = {
+            RegClass.INT: FreeList(
+                range(NUM_INT_REGS, int_prf_entries),
+                capacity=int_prf_entries,
+            ),
+            RegClass.FP: FreeList(
+                range(NUM_FP_REGS, fp_prf_entries),
+                capacity=fp_prf_entries,
+            ),
+        }
+        # Reference counts for RENO move elimination: an eliminated move
+        # aliases its source's physical register, which must stay
+        # allocated until every alias has been superseded and committed.
+        # Architectural initial mappings start live (count 1).
+        self._refcount = {
+            RegClass.INT: [0] * int_prf_entries,
+            RegClass.FP: [0] * fp_prf_entries,
+        }
+        for index in range(NUM_INT_REGS):
+            self._refcount[RegClass.INT][index] = 1
+        for index in range(NUM_FP_REGS):
+            self._refcount[RegClass.FP][index] = 1
+        self.moves_eliminated = 0
+
+    def can_rename(self, inst: DynInst) -> bool:
+        """True when a physical destination is available for ``inst``."""
+        if inst.dest is None:
+            return True
+        return self.free[inst.dest.cls].can_allocate()
+
+    def rename(self, inst: DynInst) -> RenamedOperands:
+        """Rename ``inst``'s operands; caller must check can_rename."""
+        srcs = tuple(
+            (src.cls, self.rat[src.cls].lookup(src)) for src in inst.srcs
+        )
+        if inst.dest is None:
+            return RenamedOperands(srcs=srcs, dest_cls=None, dest=None,
+                                   old_dest=None, undo=None)
+        cls = inst.dest.cls
+        new_preg = self.free[cls].allocate()
+        self._refcount[cls][new_preg] = 1
+        self.prf[cls].mark_pending(new_preg)
+        undo = self.rat[cls].rename(inst.dest, new_preg)
+        return RenamedOperands(srcs=srcs, dest_cls=cls, dest=new_preg,
+                               old_dest=undo.old_physical, undo=undo)
+
+    def rename_move(self, inst: DynInst) -> RenamedOperands:
+        """RENO move elimination (paper Section VII-C).
+
+        The move's destination is pointed at its *source's* physical
+        register — no new register, no execution.  The alias holds a
+        reference on the shared register so it is not reclaimed while
+        either name is live.
+        """
+        if inst.dest is None or len(inst.srcs) != 1:
+            raise ValueError("rename_move requires a 1-source move")
+        src = inst.srcs[0]
+        cls = src.cls
+        src_preg = self.rat[cls].lookup(src)
+        self._refcount[cls][src_preg] += 1
+        undo = self.rat[cls].rename(inst.dest, src_preg)
+        self.moves_eliminated += 1
+        return RenamedOperands(
+            srcs=((cls, src_preg),), dest_cls=cls, dest=src_preg,
+            old_dest=undo.old_physical, undo=undo, eliminated=True,
+        )
+
+    def _release(self, cls: RegClass, preg: int) -> None:
+        """Drop one reference; reclaim the register at zero."""
+        self._refcount[cls][preg] -= 1
+        if self._refcount[cls][preg] < 0:
+            raise RuntimeError(f"refcount underflow on {cls} p{preg}")
+        if self._refcount[cls][preg] == 0:
+            self.free[cls].release(preg)
+
+    def commit(self, renamed: RenamedOperands) -> None:
+        """Instruction committed: its previous mapping is dead."""
+        if renamed.dest_cls is not None and renamed.old_dest is not None:
+            self._release(renamed.dest_cls, renamed.old_dest)
+
+    def squash(self, renamed: RenamedOperands) -> None:
+        """Undo one rename (call youngest-first across the squash set)."""
+        if renamed.dest_cls is None or renamed.undo is None:
+            return
+        cls = renamed.dest_cls
+        self.rat[cls].undo(renamed.undo)
+        if renamed.eliminated:
+            # Drop the alias's reference on the shared register.
+            self._release(cls, renamed.undo.new_physical)
+            return
+        self.prf[cls].reset_entry(renamed.undo.new_physical)
+        self._release(cls, renamed.undo.new_physical)
+
+    def free_regs(self, cls: RegClass) -> int:
+        """Free physical registers of ``cls`` (occupancy stats)."""
+        return len(self.free[cls])

@@ -1,0 +1,34 @@
+"""PRF scoreboard: 1-bit-per-entry availability flags.
+
+Conventional PRF-based cores already provide this structure to detect
+initially-ready operands at dispatch (paper Section II-A, footnote 1).
+FXA additionally reads it at the front-end register-read stage, and a
+second time at dispatch (Section III-C) so instructions whose producers
+completed in the OXU while they were transiting the IXU dispatch as ready.
+"""
+
+from __future__ import annotations
+
+from repro.rename.prf import PhysicalRegisterFile
+
+
+class Scoreboard:
+    """Read-counting wrapper over a PRF's availability bits.
+
+    Its capacity is 1 bit per PRF entry — 1/64 of the PRF's data (paper
+    Section V-B) — so its access energy is negligible but still tracked.
+    """
+
+    def __init__(self, prf: PhysicalRegisterFile):
+        self._prf = prf
+        self.reads = 0
+
+    @property
+    def entries(self) -> int:
+        """Flag count (equals the PRF entry count)."""
+        return self._prf.entries
+
+    def is_ready(self, reg_id: int, cycle: int) -> bool:
+        """Check one operand's availability bit (counts a read)."""
+        self.reads += 1
+        return self._prf.is_ready(reg_id, cycle)

@@ -1,0 +1,327 @@
+"""Per-benchmark workload profiles for the 29 SPEC CPU2006 programs.
+
+Each profile parameterises the synthetic program builder.  The numbers are
+*synthetic approximations*: they are chosen so that the population of
+workloads reproduces the aggregate properties the paper reports (average FP
+ratio of FP programs ~31 %, libquantum/gromacs >80 % INT operations, mcf
+memory-bound, ...), not to match any particular instruction-level profile
+of the real binaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Mix:
+    """Instruction-class mix as fractions; normalised on access.
+
+    ``branch`` covers conditional branches; a fixed share of control
+    transfers is additionally emitted as unconditional branches and
+    call/return pairs by the program builder.
+    """
+
+    int_alu: float
+    int_mul: float = 0.0
+    int_div: float = 0.0
+    fp_add: float = 0.0
+    fp_mul: float = 0.0
+    fp_div: float = 0.0
+    load: float = 0.0
+    store: float = 0.0
+    branch: float = 0.0
+
+    def normalised(self) -> "Mix":
+        """Return a copy whose fields sum to exactly 1.0."""
+        total = (
+            self.int_alu + self.int_mul + self.int_div
+            + self.fp_add + self.fp_mul + self.fp_div
+            + self.load + self.store + self.branch
+        )
+        if total <= 0:
+            raise ValueError("mix must have positive total weight")
+        return Mix(
+            int_alu=self.int_alu / total,
+            int_mul=self.int_mul / total,
+            int_div=self.int_div / total,
+            fp_add=self.fp_add / total,
+            fp_mul=self.fp_mul / total,
+            fp_div=self.fp_div / total,
+            load=self.load / total,
+            store=self.store / total,
+            branch=self.branch / total,
+        )
+
+    @property
+    def fp_fraction(self) -> float:
+        """Fraction of FP arithmetic in the (normalised) mix."""
+        norm = self.normalised()
+        return norm.fp_add + norm.fp_mul + norm.fp_div
+
+    @property
+    def int_operation_fraction(self) -> float:
+        """Paper Section VI-C "INT operations": ALU + mul/div + branches."""
+        norm = self.normalised()
+        return norm.int_alu + norm.int_mul + norm.int_div + norm.branch
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Everything the synthetic program builder needs for one benchmark.
+
+    Attributes:
+        name: SPEC-style short name (e.g. ``"libquantum"``).
+        suite: ``"int"`` or ``"fp"``.
+        mix: Instruction-class mix.
+        fp_mem_frac: Fraction of loads/stores that move FP data.
+        dep_geo_p: Geometric parameter of the producer-consumer static
+            distance distribution.  Larger values mean tighter dependence
+            chains (less ILP).
+        far_src_frac: Probability a source reads a long-lived value that
+            is already architecturally available (the paper's category (a)
+            operands).
+        branch_random_frac: Fraction of conditional branches whose outcome
+            is data-dependent (hard to predict).
+        loop_trip_mean: Mean trip count of block loops.
+        working_set_kb: Data working-set size; drives cache miss rates.
+        seq_stream_frac: Fraction of memory references on sequential
+            streams (the rest walk the working set randomly).
+        rand_hot_kb: Size of each *random* stream's region.  Most
+            programs scatter over a hot subset that caches well; the
+            memory-bound ones (mcf, omnetpp, ...) override it with
+            multi-megabyte regions that defeat the L2.
+        num_blocks: Static basic blocks; drives code footprint / L1I.
+        block_len_mean: Mean instructions per basic block.
+        description: One-line human note about the calibration intent.
+    """
+
+    name: str
+    suite: str
+    mix: Mix
+    fp_mem_frac: float = 0.0
+    dep_geo_p: float = 0.20
+    far_src_frac: float = 0.10
+    branch_random_frac: float = 0.02
+    loop_trip_mean: float = 24.0
+    working_set_kb: int = 1024
+    seq_stream_frac: float = 0.5
+    rand_hot_kb: int = 24
+    num_blocks: int = 48
+    block_len_mean: float = 9.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("int", "fp"):
+            raise ValueError(f"unknown suite {self.suite!r}")
+        if not 0.0 <= self.fp_mem_frac <= 1.0:
+            raise ValueError("fp_mem_frac must be in [0, 1]")
+        if not 0.0 < self.dep_geo_p < 1.0:
+            raise ValueError("dep_geo_p must be in (0, 1)")
+
+
+def _int(name: str, mix: Mix, **kw) -> BenchmarkProfile:
+    return BenchmarkProfile(name=name, suite="int", mix=mix, **kw)
+
+
+def _fp(name: str, mix: Mix, **kw) -> BenchmarkProfile:
+    return BenchmarkProfile(name=name, suite="fp", mix=mix, **kw)
+
+
+_PROFILES: Tuple[BenchmarkProfile, ...] = (
+    # ---------------- SPEC CPU2006 INT ----------------
+    _int("astar", Mix(int_alu=0.42, int_mul=0.01, load=0.28, store=0.08,
+                      branch=0.21),
+         dep_geo_p=0.250, branch_random_frac=0.05, rand_hot_kb=256, working_set_kb=2048,
+         seq_stream_frac=0.30, num_blocks=40,
+         description="path-finding; mispredict-heavy, pointer-ish memory"),
+    _int("bzip2", Mix(int_alu=0.45, int_mul=0.01, load=0.26, store=0.11,
+                      branch=0.17),
+         dep_geo_p=0.225, branch_random_frac=0.03, rand_hot_kb=128, working_set_kb=4096,
+         seq_stream_frac=0.50, num_blocks=36,
+         description="compression; medium ILP, medium working set"),
+    _int("gcc", Mix(int_alu=0.40, int_mul=0.01, load=0.26, store=0.13,
+                    branch=0.20),
+         dep_geo_p=0.225, branch_random_frac=0.022, rand_hot_kb=96, working_set_kb=2048,
+         seq_stream_frac=0.40, num_blocks=160, block_len_mean=7.0,
+         description="compiler; big code footprint, many branches"),
+    _int("gobmk", Mix(int_alu=0.42, int_mul=0.01, load=0.25, store=0.10,
+                      branch=0.22),
+         dep_geo_p=0.240, branch_random_frac=0.04, working_set_kb=192,
+         seq_stream_frac=0.40, num_blocks=96, block_len_mean=7.0,
+         description="go engine; branchy, hard-to-predict"),
+    _int("h264ref", Mix(int_alu=0.50, int_mul=0.03, load=0.28, store=0.10,
+                        branch=0.09),
+         dep_geo_p=0.150, far_src_frac=0.14, branch_random_frac=0.015,
+         working_set_kb=384, seq_stream_frac=0.70, num_blocks=44,
+         block_len_mean=12.0,
+         description="video encode; high ILP, predictable"),
+    _int("hmmer", Mix(int_alu=0.48, load=0.31, store=0.12, branch=0.09),
+         dep_geo_p=0.140, far_src_frac=0.15, branch_random_frac=0.008,
+         working_set_kb=96, seq_stream_frac=0.80, num_blocks=24,
+         block_len_mean=14.0, loop_trip_mean=40.0,
+         description="profile HMM search; loop-dominated, very high ILP"),
+    _int("libquantum",
+         Mix(int_alu=0.60, int_mul=0.005, load=0.12, store=0.05,
+             branch=0.225),
+         dep_geo_p=0.110, far_src_frac=0.16, branch_random_frac=0.004,
+         working_set_kb=16384, seq_stream_frac=0.95, num_blocks=12,
+         block_len_mean=10.0, loop_trip_mean=64.0,
+         description=">80% INT operations, streaming; paper's +67% case"),
+    _int("mcf", Mix(int_alu=0.30, int_mul=0.01, load=0.36, store=0.09,
+                    branch=0.24),
+         dep_geo_p=0.275, branch_random_frac=0.035, rand_hot_kb=8192, working_set_kb=32768,
+         seq_stream_frac=0.15, num_blocks=28,
+         description="network simplex; memory-bound pointer chasing"),
+    _int("omnetpp", Mix(int_alu=0.35, int_mul=0.01, load=0.30, store=0.15,
+                        branch=0.19),
+         dep_geo_p=0.250, branch_random_frac=0.028, rand_hot_kb=1536, working_set_kb=8192,
+         seq_stream_frac=0.25, num_blocks=88, block_len_mean=7.0,
+         description="discrete event sim; heap-heavy"),
+    _int("perlbench", Mix(int_alu=0.40, int_mul=0.005, load=0.27,
+                          store=0.14, branch=0.185),
+         dep_geo_p=0.230, branch_random_frac=0.02, working_set_kb=1024,
+         seq_stream_frac=0.45, num_blocks=120, block_len_mean=7.0,
+         description="perl interpreter; big code, indirect-ish control"),
+    _int("sjeng", Mix(int_alu=0.45, int_mul=0.01, load=0.22, store=0.08,
+                      branch=0.24),
+         dep_geo_p=0.240, branch_random_frac=0.045, working_set_kb=192,
+         seq_stream_frac=0.40, num_blocks=64,
+         description="chess engine; branchy"),
+    _int("xalancbmk", Mix(int_alu=0.38, int_mul=0.005, load=0.305,
+                          store=0.10, branch=0.215),
+         dep_geo_p=0.240, branch_random_frac=0.02, rand_hot_kb=384, working_set_kb=4096,
+         seq_stream_frac=0.35, num_blocks=140, block_len_mean=6.0,
+         description="XSLT; big code footprint, pointer chasing"),
+    # ---------------- SPEC CPU2006 FP ----------------
+    _fp("GemsFDTD", Mix(int_alu=0.13, fp_add=0.20, fp_mul=0.20,
+                        fp_div=0.01, load=0.28, store=0.13, branch=0.05),
+        fp_mem_frac=0.80, dep_geo_p=0.175, rand_hot_kb=1024, working_set_kb=32768,
+        seq_stream_frac=0.80, num_blocks=20, block_len_mean=14.0,
+        loop_trip_mean=48.0,
+        description="FDTD solver; streaming, memory-bound"),
+    _fp("bwaves", Mix(int_alu=0.12, fp_add=0.22, fp_mul=0.22, fp_div=0.01,
+                      load=0.28, store=0.10, branch=0.05),
+        fp_mem_frac=0.85, dep_geo_p=0.160, working_set_kb=16384,
+        seq_stream_frac=0.90, num_blocks=16, block_len_mean=16.0,
+        loop_trip_mean=64.0,
+        description="blast waves; dense loops, streaming"),
+    _fp("cactusADM", Mix(int_alu=0.09, fp_add=0.26, fp_mul=0.24,
+                         fp_div=0.02, load=0.25, store=0.10, branch=0.04),
+        fp_mem_frac=0.85, dep_geo_p=0.175, working_set_kb=8192,
+        seq_stream_frac=0.85, num_blocks=14, block_len_mean=18.0,
+        loop_trip_mean=48.0,
+        description="numerical relativity; max FP ratio (~52%)"),
+    _fp("calculix", Mix(int_alu=0.28, fp_add=0.16, fp_mul=0.15,
+                        fp_div=0.01, load=0.24, store=0.08, branch=0.08),
+        fp_mem_frac=0.60, dep_geo_p=0.200, working_set_kb=1024,
+        seq_stream_frac=0.70, num_blocks=40,
+        description="structural FEM; mixed INT/FP"),
+    _fp("dealII", Mix(int_alu=0.30, fp_add=0.14, fp_mul=0.13, fp_div=0.01,
+                      load=0.26, store=0.08, branch=0.08),
+        fp_mem_frac=0.55, dep_geo_p=0.210, rand_hot_kb=96, working_set_kb=2048,
+        seq_stream_frac=0.60, num_blocks=72, block_len_mean=8.0,
+        description="adaptive FEM; C++, mixed"),
+    _fp("gamess", Mix(int_alu=0.25, fp_add=0.19, fp_mul=0.18, fp_div=0.01,
+                      load=0.24, store=0.07, branch=0.06),
+        fp_mem_frac=0.70, dep_geo_p=0.190, working_set_kb=256,
+        seq_stream_frac=0.70, num_blocks=48,
+        description="quantum chemistry; cache-resident"),
+    _fp("gromacs", Mix(int_alu=0.61, int_mul=0.01, fp_add=0.03,
+                       fp_mul=0.02, load=0.09, store=0.04, branch=0.20),
+        fp_mem_frac=0.30, dep_geo_p=0.120, far_src_frac=0.15,
+        branch_random_frac=0.008, working_set_kb=1024,
+        seq_stream_frac=0.75, num_blocks=24, loop_trip_mean=40.0,
+        description=">80% INT operations despite FP suite; paper callout"),
+    _fp("lbm", Mix(int_alu=0.07, fp_add=0.23, fp_mul=0.22, fp_div=0.01,
+                   load=0.26, store=0.18, branch=0.03),
+        fp_mem_frac=0.90, dep_geo_p=0.165, working_set_kb=32768,
+        seq_stream_frac=0.95, num_blocks=10, block_len_mean=20.0,
+        loop_trip_mean=96.0,
+        description="lattice Boltzmann; pure streaming"),
+    _fp("leslie3d", Mix(int_alu=0.15, fp_add=0.20, fp_mul=0.19,
+                        fp_div=0.01, load=0.28, store=0.12, branch=0.05),
+        fp_mem_frac=0.80, dep_geo_p=0.175, rand_hot_kb=256, working_set_kb=16384,
+        seq_stream_frac=0.85, num_blocks=18, block_len_mean=14.0,
+        loop_trip_mean=48.0,
+        description="turbulence CFD; streaming"),
+    _fp("milc", Mix(int_alu=0.13, fp_add=0.20, fp_mul=0.19, fp_div=0.005,
+                    load=0.30, store=0.13, branch=0.045),
+        fp_mem_frac=0.85, dep_geo_p=0.190, rand_hot_kb=1024, working_set_kb=16384,
+        seq_stream_frac=0.70, num_blocks=22, block_len_mean=12.0,
+        description="lattice QCD; memory-bound"),
+    _fp("namd", Mix(int_alu=0.24, fp_add=0.22, fp_mul=0.21, fp_div=0.01,
+                    load=0.22, store=0.05, branch=0.05),
+        fp_mem_frac=0.70, dep_geo_p=0.165, far_src_frac=0.13,
+        working_set_kb=128, seq_stream_frac=0.65, num_blocks=28,
+        block_len_mean=14.0,
+        description="molecular dynamics; compute-bound, high ILP"),
+    _fp("povray", Mix(int_alu=0.35, fp_add=0.13, fp_mul=0.11, fp_div=0.01,
+                      load=0.22, store=0.08, branch=0.10),
+        fp_mem_frac=0.45, dep_geo_p=0.210, branch_random_frac=0.022,
+        working_set_kb=96, seq_stream_frac=0.50, num_blocks=72,
+        block_len_mean=8.0,
+        description="ray tracing; branchy FP"),
+    _fp("soplex", Mix(int_alu=0.30, fp_add=0.12, fp_mul=0.10, fp_div=0.005,
+                      load=0.295, store=0.08, branch=0.10),
+        fp_mem_frac=0.55, dep_geo_p=0.225, rand_hot_kb=384, working_set_kb=4096,
+        seq_stream_frac=0.50, num_blocks=56, block_len_mean=8.0,
+        description="LP simplex; sparse memory"),
+    _fp("sphinx3", Mix(int_alu=0.30, fp_add=0.16, fp_mul=0.14,
+                       fp_div=0.005, load=0.275, store=0.04, branch=0.08),
+        fp_mem_frac=0.60, dep_geo_p=0.190, working_set_kb=2048,
+        seq_stream_frac=0.60, num_blocks=40,
+        description="speech recognition; gaussian scoring loops"),
+    _fp("tonto", Mix(int_alu=0.30, fp_add=0.16, fp_mul=0.14, fp_div=0.01,
+                     load=0.24, store=0.08, branch=0.07),
+        fp_mem_frac=0.60, dep_geo_p=0.200, working_set_kb=1024,
+        seq_stream_frac=0.60, num_blocks=56,
+        description="quantum crystallography; Fortran 95"),
+    _fp("wrf", Mix(int_alu=0.24, fp_add=0.18, fp_mul=0.17, fp_div=0.01,
+                   load=0.25, store=0.10, branch=0.05),
+        fp_mem_frac=0.75, dep_geo_p=0.185, working_set_kb=8192,
+        seq_stream_frac=0.80, num_blocks=32, block_len_mean=12.0,
+        description="weather model; stencil loops"),
+    _fp("zeusmp", Mix(int_alu=0.19, fp_add=0.21, fp_mul=0.20, fp_div=0.01,
+                      load=0.25, store=0.12, branch=0.03),
+        fp_mem_frac=0.80, dep_geo_p=0.175, working_set_kb=16384,
+        seq_stream_frac=0.85, num_blocks=20, block_len_mean=16.0,
+        loop_trip_mean=64.0,
+        description="astrophysical CFD; streaming stencils"),
+)
+
+_BY_NAME: Dict[str, BenchmarkProfile] = {p.name: p for p in _PROFILES}
+
+#: Benchmark names by suite, in the paper's Figure 7 order.
+INT_BENCHMARKS: Tuple[str, ...] = tuple(
+    p.name for p in _PROFILES if p.suite == "int"
+)
+FP_BENCHMARKS: Tuple[str, ...] = tuple(
+    p.name for p in _PROFILES if p.suite == "fp"
+)
+ALL_BENCHMARKS: Tuple[str, ...] = INT_BENCHMARKS + FP_BENCHMARKS
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by name.
+
+    Raises:
+        KeyError: if the benchmark is unknown.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def list_benchmarks(suite: str = "all") -> Tuple[str, ...]:
+    """Return benchmark names for ``suite`` in {"int", "fp", "all"}."""
+    if suite == "int":
+        return INT_BENCHMARKS
+    if suite == "fp":
+        return FP_BENCHMARKS
+    if suite == "all":
+        return ALL_BENCHMARKS
+    raise ValueError(f"unknown suite {suite!r}")

@@ -1,0 +1,287 @@
+"""Unit tests for the out-of-order backend structures."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import pytest
+
+from repro.backend import (
+    BypassNetwork,
+    FUPool,
+    IssueQueue,
+    LoadStoreQueue,
+    ReorderBuffer,
+    StoreSetPredictor,
+)
+from repro.isa import DynInst, FUType, OpClass, int_reg
+
+
+@dataclass
+class FakeEntry:
+    """Minimal in-flight record for structure tests."""
+
+    seq: int
+    inst: Optional[DynInst] = None
+    mem_executed: bool = False
+    lsq_written: bool = False
+
+
+def _load(seq, addr):
+    return FakeEntry(seq=seq, inst=DynInst(
+        seq=seq, pc=0x100 + 4 * seq, op=OpClass.LOAD, dest=int_reg(1),
+        srcs=(int_reg(30),), mem_addr=addr, mem_size=8))
+
+
+def _store(seq, addr):
+    return FakeEntry(seq=seq, inst=DynInst(
+        seq=seq, pc=0x100 + 4 * seq, op=OpClass.STORE,
+        srcs=(int_reg(30), int_reg(2)), mem_addr=addr, mem_size=8))
+
+
+class TestROB:
+    def test_fifo(self):
+        rob = ReorderBuffer(4)
+        entries = [FakeEntry(i) for i in range(3)]
+        for entry in entries:
+            rob.insert(entry)
+        assert rob.head() is entries[0]
+        assert rob.pop_head() is entries[0]
+        assert len(rob) == 2
+
+    def test_capacity(self):
+        rob = ReorderBuffer(2)
+        rob.insert(FakeEntry(0))
+        rob.insert(FakeEntry(1))
+        assert rob.full and rob.free == 0
+        with pytest.raises(RuntimeError):
+            rob.insert(FakeEntry(2))
+
+    def test_squash_younger(self):
+        rob = ReorderBuffer(8)
+        for i in range(5):
+            rob.insert(FakeEntry(i))
+        removed = rob.squash_younger_than(2)
+        assert [e.seq for e in removed] == [4, 3]
+        assert len(rob) == 3
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(0)
+
+
+class TestIssueQueue:
+    def test_dispatch_issue(self):
+        iq = IssueQueue(capacity=4, issue_width=2)
+        a, b = FakeEntry(0), FakeEntry(1)
+        iq.dispatch(a)
+        iq.dispatch(b)
+        assert list(iq) == [a, b]
+        iq.issue(a)
+        assert list(iq) == [b]
+        assert iq.dispatches == 2 and iq.issues == 1
+
+    def test_overflow(self):
+        iq = IssueQueue(capacity=1, issue_width=1)
+        iq.dispatch(FakeEntry(0))
+        assert iq.full
+        with pytest.raises(RuntimeError):
+            iq.dispatch(FakeEntry(1))
+
+    def test_wakeup_energy_scales_with_occupancy(self):
+        iq = IssueQueue(capacity=8, issue_width=4)
+        for i in range(5):
+            iq.dispatch(FakeEntry(i))
+        iq.broadcast_wakeup()
+        assert iq.wakeup_broadcasts == 1
+        assert iq.wakeup_cam_compares == 5
+
+    def test_squash(self):
+        iq = IssueQueue(capacity=8, issue_width=4)
+        for i in range(5):
+            iq.dispatch(FakeEntry(i))
+        iq.squash_younger_than(1)
+        assert [e.seq for e in iq] == [0, 1]
+
+    def test_occupancy_sampling(self):
+        iq = IssueQueue(capacity=8, issue_width=4)
+        iq.dispatch(FakeEntry(0))
+        iq.sample_occupancy()
+        iq.dispatch(FakeEntry(1))
+        iq.sample_occupancy()
+        assert iq.mean_occupancy == 1.5
+
+
+class TestLSQ:
+    def test_forwarding_hit(self):
+        lsq = LoadStoreQueue()
+        store = _store(0, 0x1000)
+        load = _load(1, 0x1000)
+        lsq.insert_store(store)
+        lsq.insert_load(load)
+        lsq.execute_store(store, in_ixu=False)
+        assert lsq.execute_load(load, in_ixu=False)
+        assert lsq.stats.forwarded_loads == 1
+
+    def test_no_forward_from_younger_store(self):
+        lsq = LoadStoreQueue()
+        load = _load(0, 0x1000)
+        store = _store(1, 0x1000)
+        lsq.insert_load(load)
+        lsq.insert_store(store)
+        lsq.execute_store(store, in_ixu=False)
+        assert not lsq.execute_load(load, in_ixu=False)
+
+    def test_violation_detected(self):
+        lsq = LoadStoreQueue()
+        store = _store(0, 0x2000)
+        load = _load(1, 0x2000)
+        lsq.insert_store(store)
+        lsq.insert_load(load)
+        lsq.execute_load(load, in_ixu=False)      # load runs early
+        violator = lsq.execute_store(store, in_ixu=False)
+        assert violator is load
+        assert lsq.stats.violations == 1
+
+    def test_ixu_store_omits_violation_search(self):
+        lsq = LoadStoreQueue()
+        store = _store(0, 0x2000)
+        lsq.insert_store(store)
+        assert lsq.execute_store(store, in_ixu=True) is None
+        assert lsq.stats.omitted_violation_searches == 1
+        assert lsq.stats.violation_searches == 0
+
+    def test_ixu_load_omits_write_when_stores_done(self):
+        lsq = LoadStoreQueue()
+        store = _store(0, 0x1000)
+        load = _load(1, 0x3000)
+        lsq.insert_store(store)
+        lsq.insert_load(load)
+        lsq.execute_store(store, in_ixu=True)
+        lsq.execute_load(load, in_ixu=True)
+        assert lsq.stats.omitted_load_writes == 1
+        assert not load.lsq_written
+
+    def test_ixu_load_written_when_older_store_pending(self):
+        lsq = LoadStoreQueue()
+        store = _store(0, 0x1000)
+        load = _load(1, 0x3000)
+        lsq.insert_store(store)
+        lsq.insert_load(load)
+        lsq.execute_load(load, in_ixu=True)   # store not yet executed
+        assert lsq.stats.load_writes == 1
+        assert load.lsq_written
+
+    def test_unwritten_load_cannot_violate(self):
+        """The omitted-write load is invisible to violation search —
+        safe because its older stores had already executed."""
+        lsq = LoadStoreQueue()
+        store_a = _store(0, 0x1000)
+        load = _load(1, 0x1000)
+        store_b = _store(2, 0x1000)
+        lsq.insert_store(store_a)
+        lsq.insert_load(load)
+        lsq.insert_store(store_b)
+        lsq.execute_store(store_a, in_ixu=True)
+        lsq.execute_load(load, in_ixu=True)   # omitted write
+        violator = lsq.execute_store(store_b, in_ixu=False)
+        assert violator is None  # store_b is younger: no violation anyway
+
+    def test_capacity_and_commit(self):
+        lsq = LoadStoreQueue(load_capacity=1, store_capacity=1)
+        load = _load(0, 0x100)
+        lsq.insert_load(load)
+        assert lsq.loads_free == 0
+        with pytest.raises(RuntimeError):
+            lsq.insert_load(_load(1, 0x200))
+        lsq.commit(load)
+        assert lsq.loads_free == 1
+
+    def test_squash(self):
+        lsq = LoadStoreQueue()
+        lsq.insert_load(_load(0, 0x100))
+        lsq.insert_store(_store(5, 0x200))
+        lsq.squash_younger_than(0)
+        assert lsq.stores_free == lsq.store_capacity
+
+
+class TestStoreSets:
+    def test_untrained_load_free_to_go(self):
+        pred = StoreSetPredictor()
+        assert pred.load_dependency(0x100) is None
+
+    def test_violation_creates_dependency(self):
+        pred = StoreSetPredictor()
+        pred.train_violation(load_pc=0x100, store_pc=0x200)
+        store = FakeEntry(0)
+        pred.store_dispatched(0x200, store)
+        assert pred.load_dependency(0x100) is store
+
+    def test_store_executed_clears(self):
+        pred = StoreSetPredictor()
+        pred.train_violation(0x100, 0x200)
+        store = FakeEntry(0)
+        pred.store_dispatched(0x200, store)
+        pred.store_executed(0x200, store)
+        assert pred.load_dependency(0x100) is None
+
+    def test_merge_sets(self):
+        pred = StoreSetPredictor()
+        pred.train_violation(0x100, 0x200)
+        pred.train_violation(0x300, 0x400)
+        pred.train_violation(0x100, 0x400)  # pulls 0x400 into 0x100's set
+        store = FakeEntry(0)
+        pred.store_dispatched(0x400, store)
+        assert pred.load_dependency(0x100) is store
+        # 0x200 shares 0x100's set from the first violation.
+        store_b = FakeEntry(1)
+        pred.store_dispatched(0x200, store_b)
+        assert pred.load_dependency(0x100) is store_b
+
+    def test_lfst_tracks_latest_store(self):
+        pred = StoreSetPredictor()
+        pred.train_violation(0x100, 0x200)
+        older, newer = FakeEntry(0), FakeEntry(1)
+        pred.store_dispatched(0x200, older)
+        pred.store_dispatched(0x200, newer)
+        assert pred.load_dependency(0x100) is newer
+        pred.store_executed(0x200, older)   # not the LFST entry: no-op
+        assert pred.load_dependency(0x100) is newer
+
+
+class TestFUPool:
+    def test_issue_width_limit(self):
+        pool = FUPool(FUType.INT, 2)
+        assert pool.try_issue(OpClass.INT_ALU, 5)
+        assert pool.try_issue(OpClass.INT_ALU, 5)
+        assert not pool.try_issue(OpClass.INT_ALU, 5)
+        assert pool.try_issue(OpClass.INT_ALU, 6)
+
+    def test_unpipelined_divide_blocks_unit(self):
+        pool = FUPool(FUType.INT, 1)
+        assert pool.try_issue(OpClass.INT_DIV, 0)
+        assert not pool.try_issue(OpClass.INT_ALU, 1)
+        assert pool.try_issue(OpClass.INT_ALU, 12)
+
+    def test_pipelined_mul_allows_back_to_back(self):
+        pool = FUPool(FUType.INT, 1)
+        assert pool.try_issue(OpClass.INT_MUL, 0)
+        assert pool.try_issue(OpClass.INT_MUL, 1)
+
+    def test_execution_count(self):
+        pool = FUPool(FUType.FP, 2)
+        pool.try_issue(OpClass.FP_ADD, 0)
+        pool.try_issue(OpClass.FP_MUL, 0)
+        assert pool.executions == 2
+
+    def test_empty_pool(self):
+        pool = FUPool(FUType.FP, 0)
+        assert not pool.try_issue(OpClass.FP_ADD, 0)
+
+
+class TestBypass:
+    def test_counts(self):
+        net = BypassNetwork("ixu", fu_count=5)
+        net.broadcast()
+        net.broadcast()
+        assert net.broadcasts == 2
+        assert net.fu_count == 5

@@ -1,0 +1,28 @@
+"""Tests for CLI JSON export."""
+
+import json
+
+from repro.experiments.cli import main
+
+
+class TestJSONExport:
+    def test_analytical_experiments_dump(self, tmp_path, capsys):
+        path = tmp_path / "results.json"
+        assert main(["figure9", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert "figure9" in data
+        assert data["figure9"]["figure9a"]["BIG"]["L2"] > 0
+
+    def test_simulated_experiment_dump(self, tmp_path, capsys):
+        path = tmp_path / "fig7.json"
+        main(["figure7", "--benchmarks", "hmmer",
+              "--measure", "600", "--warmup", "2500",
+              "--json", str(path)])
+        data = json.loads(path.read_text())
+        assert data["figure7"]["BIG"]["mean"] == 1.0
+
+    def test_tables_dump(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        main(["table1", "--json", str(path)])
+        data = json.loads(path.read_text())
+        assert data["table1"]["BIG"]["issue width"] == "4 inst."

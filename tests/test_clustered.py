@@ -1,0 +1,126 @@
+"""Tests for the clustered-architecture comparator (Section VII-A)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import build_core
+from repro.core.clustered import ClusteredCore
+from repro.core.config import ClusterConfig
+from repro.core.presets import big_config, ca_config
+from repro.isa import DynInst, OpClass, int_reg
+from repro.workloads import generate_trace
+
+
+def _alu_stream(n):
+    return [
+        DynInst(seq=i, pc=0x1000 + 4 * (i % 64), op=OpClass.INT_ALU,
+                dest=int_reg(i % 20), srcs=(int_reg(25 + i % 3),))
+        for i in range(n)
+    ]
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(count=1)
+        with pytest.raises(ValueError):
+            ClusterConfig(steering="random")
+        with pytest.raises(ValueError):
+            ClusterConfig(inter_cluster_delay=-1)
+
+    def test_cannot_combine_with_ixu(self):
+        from repro.core import IXUConfig
+        from repro.core.config import CoreConfig
+
+        with pytest.raises(ValueError):
+            CoreConfig(name="x", core_type="ooo", ixu=IXUConfig(),
+                       clusters=ClusterConfig())
+
+    def test_requires_cluster_config(self):
+        with pytest.raises(ValueError):
+            ClusteredCore(big_config())
+
+    def test_build_core_routes_to_clustered(self):
+        assert isinstance(build_core("CA"), ClusteredCore)
+
+
+class TestClusteredExecution:
+    def test_commits_whole_trace(self):
+        stats = build_core("CA").run(_alu_stream(800))
+        assert stats.committed == 800
+
+    def test_real_workload_runs(self):
+        for bench in ("gcc", "lbm"):
+            trace = generate_trace(bench, 1200)
+            stats = build_core("CA").run(trace)
+            assert stats.committed == 1200
+
+    def test_clusters_balance_under_dependence_steering(self):
+        core = build_core("CA")
+        core.run(generate_trace("hmmer", 3000))
+        left, right = core.issued_per_cluster
+        total = left + right
+        assert total > 0
+        assert 0.25 < left / total < 0.75
+
+    def test_roundrobin_creates_more_cross_forwards(self):
+        """Naive steering splits dependence chains across clusters."""
+        trace = generate_trace("gcc", 3000)
+        dep_core = build_core(ca_config("dependence"))
+        dep_core.run(trace)
+        rr_core = build_core(
+            replace(ca_config("roundrobin"), name="CA-rr"))
+        rr_core.run(trace)
+        assert (rr_core.intercluster_forwards
+                > dep_core.intercluster_forwards)
+
+    def test_cross_cluster_delay_costs_cycles(self):
+        """A serial chain round-robined across clusters pays the
+        inter-cluster latency on every hop."""
+        chain = [
+            DynInst(seq=i, pc=0x1000 + 4 * (i % 64), op=OpClass.INT_ALU,
+                    dest=int_reg(1), srcs=(int_reg(1),))
+            for i in range(1000)
+        ]
+        rr = build_core(replace(ca_config("roundrobin"), name="CA-rr"))
+        rr_stats = rr.run(chain)
+        dep = build_core(ca_config("dependence"))
+        dep_stats = dep.run(chain)
+        assert dep_stats.cycles < rr_stats.cycles
+        # Round-robin pays ~1 extra cycle per hop: IPC near 1/2.
+        assert rr_stats.ipc < 0.7
+
+    def test_per_cluster_issue_width(self):
+        """Each cluster issues at most its private width per cycle."""
+        stats = build_core("CA").run(_alu_stream(4000))
+        # 2 clusters x 1 INT FU each: ALU throughput caps at 2.
+        assert stats.ipc <= 2.05
+
+    def test_intercluster_forwards_priced(self):
+        from repro.core import model_config
+        from repro.energy import Component, EnergyModel
+
+        trace = generate_trace("gcc", 2000)
+        core = build_core(replace(ca_config("roundrobin"), name="CA-rr"))
+        stats = core.run(trace)
+        assert stats.events.intercluster_forwards > 0
+        breakdown = EnergyModel(model_config("CA")).evaluate(stats)
+        assert breakdown.dynamic[Component.FUS] > 0
+
+    def test_violation_squash_cleans_cluster_map(self):
+        trace = [
+            DynInst(seq=0, pc=0x1000, op=OpClass.INT_DIV,
+                    dest=int_reg(1), srcs=(int_reg(25),)),
+            DynInst(seq=1, pc=0x1004, op=OpClass.STORE,
+                    srcs=(int_reg(1), int_reg(26)), mem_addr=0x8000,
+                    mem_size=8),
+            DynInst(seq=2, pc=0x1008, op=OpClass.LOAD,
+                    dest=int_reg(4), srcs=(int_reg(27),),
+                    mem_addr=0x8000, mem_size=8),
+            DynInst(seq=3, pc=0x100c, op=OpClass.INT_ALU,
+                    dest=int_reg(5), srcs=(int_reg(4),)),
+        ]
+        stats = build_core("CA").run(trace)
+        assert stats.violations >= 1
+        assert stats.committed == 4

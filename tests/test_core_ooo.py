@@ -1,0 +1,253 @@
+"""Unit/behavioural tests for the out-of-order core."""
+
+import pytest
+
+from repro.core import (
+    CoreConfig,
+    OutOfOrderCore,
+    build_core,
+    big_config,
+    half_config,
+)
+from repro.isa import DynInst, OpClass, fp_reg, int_reg
+from repro.workloads import generate_trace
+
+
+def _alu_stream(n, dest_mod=20, src_base=25):
+    """Independent 1-source ALU ops (sources never written: always ready)."""
+    return [
+        DynInst(seq=i, pc=0x1000 + 4 * (i % 64), op=OpClass.INT_ALU,
+                dest=int_reg(i % dest_mod), srcs=(int_reg(src_base + i % 4),))
+        for i in range(n)
+    ]
+
+
+def _serial_chain(n):
+    return [
+        DynInst(seq=i, pc=0x1000 + 4 * (i % 64), op=OpClass.INT_ALU,
+                dest=int_reg(1), srcs=(int_reg(1),))
+        for i in range(n)
+    ]
+
+
+class TestBasicExecution:
+    def test_commits_whole_trace(self):
+        core = build_core("BIG")
+        trace = _alu_stream(500)
+        stats = core.run(trace)
+        assert stats.committed == 500
+        assert stats.cycles > 0
+
+    def test_empty_trace(self):
+        stats = build_core("BIG").run([])
+        assert stats.committed == 0
+
+    def test_rejects_nonzero_base(self):
+        trace = _alu_stream(10)[5:]
+        with pytest.raises(ValueError):
+            build_core("BIG").run(trace)
+
+    def test_deterministic(self):
+        trace = generate_trace("gcc", 1500)
+        a = build_core("BIG").run(trace)
+        b = build_core("BIG").run(trace)
+        assert a.cycles == b.cycles
+        assert a.mispredictions == b.mispredictions
+
+    def test_max_cycles_cuts_run(self):
+        trace = _alu_stream(5000)
+        stats = build_core("BIG").run(trace, max_cycles=50)
+        assert stats.cycles <= 50
+        assert stats.committed < 5000
+
+    def test_requires_ooo_config(self):
+        from repro.core.presets import little_config
+
+        with pytest.raises(ValueError):
+            OutOfOrderCore(little_config())
+
+
+class TestThroughputLimits:
+    def test_independent_alus_bounded_by_int_fus(self):
+        """BIG has 2 INT FUs: independent ALU IPC ~2, never above."""
+        stats = build_core("BIG").run(_alu_stream(6000))
+        assert 1.5 < stats.ipc <= 2.05
+
+    def test_serial_chain_runs_back_to_back(self):
+        stats = build_core("BIG").run(_serial_chain(3000))
+        assert 0.75 < stats.ipc <= 1.01
+
+    def test_divide_is_slow(self):
+        trace = [
+            DynInst(seq=i, pc=0x1000 + 4 * i, op=OpClass.INT_DIV,
+                    dest=int_reg(1), srcs=(int_reg(1),))
+            for i in range(100)
+        ]
+        stats = build_core("BIG").run(trace)
+        # Serial unpipelined divides: >= latency cycles each.
+        assert stats.cycles >= 100 * 12
+
+    def test_fp_uses_fp_pool(self):
+        trace = [
+            DynInst(seq=i, pc=0x1000 + 4 * (i % 16), op=OpClass.FP_MUL,
+                    dest=fp_reg(i % 20), srcs=(fp_reg(25), fp_reg(26)))
+            for i in range(2000)
+        ]
+        stats = build_core("BIG").run(trace)
+        assert stats.events.fu_fp_ops == 2000
+        assert stats.ipc <= 2.05  # two FP units
+
+
+class TestBranchHandling:
+    def test_mispredict_costs_cycles(self):
+        """Same instruction count; alternating-random branches cost more
+        than no branches at all."""
+        alu = build_core("BIG").run(_alu_stream(2000))
+        import random
+
+        rng = random.Random(7)
+        branchy = []
+        for i in range(2000):
+            if i % 5 == 4:
+                taken = rng.random() < 0.5
+                branchy.append(DynInst(
+                    seq=i, pc=0x1000 + 4 * (i % 40), op=OpClass.BR_COND,
+                    srcs=(int_reg(25),), taken=taken,
+                    target=0x1000 + 4 * ((i + 1) % 40) if taken else None))
+            else:
+                branchy.append(DynInst(
+                    seq=i, pc=0x1000 + 4 * (i % 40), op=OpClass.INT_ALU,
+                    dest=int_reg(i % 20), srcs=(int_reg(25),)))
+        # Keep control-flow self-consistent is not required by the core
+        # (trace-driven), only pcs repeat for training.
+        stats = build_core("BIG").run(branchy)
+        assert stats.mispredictions > 0
+        assert stats.cycles > alu.cycles
+
+    def test_predictable_loop_branch_cheap(self):
+        branchy = []
+        for i in range(3000):
+            if i % 10 == 9:
+                branchy.append(DynInst(
+                    seq=i, pc=0x1024, op=OpClass.BR_COND,
+                    srcs=(int_reg(25),), taken=True, target=0x1000))
+            else:
+                branchy.append(DynInst(
+                    seq=i, pc=0x1000 + 4 * (i % 9), op=OpClass.INT_ALU,
+                    dest=int_reg(i % 20), srcs=(int_reg(25),)))
+        stats = build_core("BIG").run(branchy)
+        assert stats.misprediction_rate < 0.05
+
+
+class TestMemorySystemInteraction:
+    def test_load_latency_on_chain(self):
+        """A load-use chain pays at least the L1 latency per link."""
+        trace = []
+        for i in range(200):
+            trace.append(DynInst(
+                seq=2 * i, pc=0x1000 + 8 * (i % 32), op=OpClass.LOAD,
+                dest=int_reg(1), srcs=(int_reg(1),),
+                mem_addr=0x10000 + 8 * (i % 64), mem_size=8))
+            trace.append(DynInst(
+                seq=2 * i + 1, pc=0x1004 + 8 * (i % 32),
+                op=OpClass.INT_ALU, dest=int_reg(1), srcs=(int_reg(1),)))
+        stats = build_core("BIG").run(trace)
+        # Each pair costs >= 1 (AGU) + 2 (L1) + 1 (ALU) on the chain.
+        assert stats.cycles >= 200 * 4 * 0.9
+
+    def test_store_to_load_forwarding(self):
+        trace = []
+        for i in range(100):
+            base = 4 * i
+            trace.append(DynInst(
+                seq=base, pc=0x1000, op=OpClass.INT_ALU,
+                dest=int_reg(2), srcs=(int_reg(25),)))
+            trace.append(DynInst(
+                seq=base + 1, pc=0x1004, op=OpClass.STORE,
+                srcs=(int_reg(25), int_reg(2)),
+                mem_addr=0x20000 + 8 * i, mem_size=8))
+            trace.append(DynInst(
+                seq=base + 2, pc=0x1008, op=OpClass.LOAD,
+                dest=int_reg(3), srcs=(int_reg(26),),
+                mem_addr=0x20000 + 8 * i, mem_size=8))
+            trace.append(DynInst(
+                seq=base + 3, pc=0x100c, op=OpClass.INT_ALU,
+                dest=int_reg(4), srcs=(int_reg(3),)))
+        stats = build_core("BIG").run(trace)
+        assert stats.forwarded_loads > 0
+
+    def test_ordering_violation_squashes_and_replays(self):
+        trace = [
+            DynInst(seq=0, pc=0x1000, op=OpClass.INT_DIV,
+                    dest=int_reg(1), srcs=(int_reg(25),)),
+            DynInst(seq=1, pc=0x1004, op=OpClass.STORE,
+                    srcs=(int_reg(1), int_reg(26)), mem_addr=0x8000,
+                    mem_size=8),
+            DynInst(seq=2, pc=0x1008, op=OpClass.LOAD,
+                    dest=int_reg(4), srcs=(int_reg(27),),
+                    mem_addr=0x8000, mem_size=8),
+            DynInst(seq=3, pc=0x100c, op=OpClass.INT_ALU,
+                    dest=int_reg(5), srcs=(int_reg(4),)),
+        ]
+        stats = build_core("BIG").run(trace)
+        assert stats.violations == 1
+        assert stats.squashed >= 2      # the load and its consumer
+        assert stats.committed == 4     # replay completes correctly
+
+    def test_store_set_prevents_repeat_violation(self):
+        """The same (load, store) pair violating once must not violate
+        on later dynamic instances (paper Section II-D3)."""
+        trace = []
+        for i in range(20):
+            base = 4 * i
+            trace.extend([
+                DynInst(seq=base, pc=0x1000, op=OpClass.INT_DIV,
+                        dest=int_reg(1), srcs=(int_reg(25),)),
+                DynInst(seq=base + 1, pc=0x1004, op=OpClass.STORE,
+                        srcs=(int_reg(1), int_reg(26)),
+                        mem_addr=0x8000 + 64 * i, mem_size=8),
+                DynInst(seq=base + 2, pc=0x1008, op=OpClass.LOAD,
+                        dest=int_reg(4), srcs=(int_reg(27),),
+                        mem_addr=0x8000 + 64 * i, mem_size=8),
+                DynInst(seq=base + 3, pc=0x100c, op=OpClass.INT_ALU,
+                        dest=int_reg(5), srcs=(int_reg(4),)),
+            ])
+        stats = build_core("BIG").run(trace)
+        assert stats.violations <= 2
+        assert stats.committed == len(trace)
+
+
+class TestResourceLimits:
+    def test_tiny_rob_still_correct(self):
+        config = big_config()
+        from dataclasses import replace
+
+        tiny = replace(config, rob_entries=8, iq_entries=4)
+        stats = build_core(tiny).run(_alu_stream(500))
+        assert stats.committed == 500
+
+    def test_tiny_lsq_still_correct(self):
+        from dataclasses import replace
+
+        tiny = replace(big_config(), lq_entries=2, sq_entries=2)
+        trace = generate_trace("bzip2", 1200)
+        stats = build_core(tiny).run(trace)
+        assert stats.committed == 1200
+
+    def test_half_never_issues_more_than_two(self):
+        stats = build_core("HALF").run(_alu_stream(3000))
+        assert stats.ipc <= 2.05
+
+    def test_event_counts_populated(self):
+        stats = build_core("BIG").run(generate_trace("gcc", 1200))
+        events = stats.events
+        assert events.iq_dispatches == events.iq_issues
+        assert events.rob_allocations >= stats.committed
+        assert events.prf_reads > 0
+        assert events.rat_reads > 0
+        assert events.l1i_accesses > 0
+
+    def test_synthetic_benchmarks_run_on_all_ooo_models(self):
+        for model in ("BIG", "HALF"):
+            stats = build_core(model).run(generate_trace("astar", 1500))
+            assert stats.committed == 1500

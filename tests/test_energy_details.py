@@ -1,0 +1,113 @@
+"""Detailed energy/area model tests: scaling rules and edge cases."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import IXUConfig, model_config
+from repro.core.presets import half_fx_config
+from repro.core.stats import CoreStats
+from repro.energy import AreaModel, Component, EnergyModel
+from repro.energy.params import EnergyParams
+
+
+def _stats(model="BIG", **events):
+    stats = CoreStats(model=model, committed=events.pop("committed", 100))
+    for key, value in events.items():
+        setattr(stats.events, key, value)
+    return stats
+
+
+class TestScalingRules:
+    def test_prf_scale_inorder_is_small(self):
+        little = EnergyModel(model_config("LITTLE"))
+        big = EnergyModel(model_config("BIG"))
+        events = dict(prf_reads=1000, cycles=0)
+        little_energy = little.evaluate(
+            _stats("LITTLE", **events)).dynamic[Component.PRF]
+        big_energy = big.evaluate(
+            _stats("BIG", **events)).dynamic[Component.PRF]
+        assert little_energy < 0.3 * big_energy
+
+    def test_cam_compare_scales_with_width_only(self):
+        events = dict(iq_cam_compares=1000, cycles=0)
+        big = EnergyModel(model_config("BIG")).evaluate(
+            _stats(**events)).dynamic[Component.IQ]
+        half = EnergyModel(model_config("HALF")).evaluate(
+            _stats("HALF", **events)).dynamic[Component.IQ]
+        assert half == pytest.approx(big / 2)  # width 2 vs 4
+
+    def test_ixu_bypass_scales_with_its_fus(self):
+        small = EnergyModel(half_fx_config(IXUConfig(stage_fus=(1,))))
+        large = EnergyModel(half_fx_config(IXUConfig(stage_fus=(3, 3))))
+        events = dict(ixu_bypass_broadcasts=1000, cycles=0)
+        e_small = small.evaluate(
+            _stats("FX", **events)).dynamic[Component.IXU]
+        e_large = large.evaluate(
+            _stats("FX", **events)).dynamic[Component.IXU]
+        assert e_large == pytest.approx(6 * e_small)
+
+    def test_scoreboard_read_is_cheap(self):
+        """Paper Section V-B: scoreboard is 1/64 of the PRF."""
+        params = EnergyParams()
+        assert params.scoreboard_read < params.prf_read / 32
+
+    def test_wrongpath_energy_charged_to_fus(self):
+        model = EnergyModel(model_config("BIG"))
+        quiet = model.evaluate(_stats(cycles=0))
+        noisy = model.evaluate(_stats(cycles=0, wrongpath_ops=1000.0))
+        assert (noisy.dynamic[Component.FUS]
+                > quiet.dynamic[Component.FUS])
+
+    def test_intercluster_forwards_priced_into_fus(self):
+        model = EnergyModel(model_config("CA"))
+        base = model.evaluate(_stats("CA", cycles=0))
+        crossy = model.evaluate(
+            _stats("CA", cycles=0, intercluster_forwards=1000))
+        assert (crossy.dynamic[Component.FUS]
+                > base.dynamic[Component.FUS])
+
+
+class TestBreakdownHelpers:
+    def test_energy_per_instruction(self):
+        model = EnergyModel(model_config("BIG"))
+        breakdown = model.evaluate(_stats(decoded=100, cycles=100,
+                                          committed=100))
+        assert breakdown.energy_per_instruction == pytest.approx(
+            breakdown.total / 100)
+
+    def test_zero_committed(self):
+        model = EnergyModel(model_config("BIG"))
+        breakdown = model.evaluate(_stats(cycles=0, committed=0))
+        assert breakdown.energy_per_instruction == 0.0
+
+    def test_component_total(self):
+        model = EnergyModel(model_config("BIG"))
+        breakdown = model.evaluate(_stats(decoded=10, cycles=10))
+        total = breakdown.component_total(Component.DECODER)
+        assert total == pytest.approx(
+            breakdown.dynamic[Component.DECODER]
+            + breakdown.static[Component.DECODER])
+
+
+class TestAreaDetails:
+    def test_ca_area_close_to_big(self):
+        """The clustered comparator has BIG-equivalent structures."""
+        big = AreaModel(model_config("BIG")).total()
+        ca = AreaModel(model_config("CA")).total()
+        assert abs(ca / big - 1.0) < 0.05
+
+    def test_cache_area_scales_with_capacity(self):
+        from repro.mem import HierarchyConfig
+
+        big_l2 = AreaModel(model_config("BIG")).breakdown()[Component.L2]
+        small = replace(model_config("BIG"),
+                        hierarchy=HierarchyConfig(l2_kb=256))
+        small_l2 = AreaModel(small).breakdown()[Component.L2]
+        assert small_l2 == pytest.approx(big_l2 / 2)
+
+    def test_fpu_area_scales_with_units(self):
+        little = AreaModel(model_config("LITTLE")).breakdown()
+        big = AreaModel(model_config("BIG")).breakdown()
+        assert little[Component.FPU] == pytest.approx(
+            big[Component.FPU] / 2)

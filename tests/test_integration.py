@@ -1,0 +1,66 @@
+"""Cross-module integration tests."""
+
+import pathlib
+
+import pytest
+
+from repro.core import build_core
+from repro.workloads import ALL_BENCHMARKS, generate_trace
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestWholeSuiteRuns:
+    def test_every_benchmark_runs_on_fxa(self):
+        """All 29 synthetic SPEC programs execute to completion on the
+        paper's proposed core."""
+        for bench in ALL_BENCHMARKS:
+            trace = generate_trace(bench, 300)
+            stats = build_core("HALF+FX").run(trace)
+            assert stats.committed == 300, bench
+
+    def test_models_agree_on_instruction_count(self):
+        trace = generate_trace("perlbench", 800)
+        counts = {
+            model: build_core(model).run(trace).committed
+            for model in ("BIG", "HALF", "LITTLE", "HALF+FX", "BIG+FX")
+        }
+        assert set(counts.values()) == {800}
+
+    def test_fx_models_never_catastrophically_slow(self):
+        """FXA's deeper pipe must not cost more than ~15% anywhere on a
+        quick sample (the paper's Figure 7 worst case is small)."""
+        for bench in ("mcf", "sjeng", "lbm"):
+            trace = generate_trace(bench, 1500)
+            big = build_core("BIG").run(trace)
+            fxa = build_core("BIG+FX").run(trace)
+            assert fxa.ipc > 0.8 * big.ipc, bench
+
+
+class TestExamplesAreRunnable:
+    @pytest.mark.parametrize("name", [
+        "quickstart.py",
+        "big_little_fxa.py",
+        "ixu_design_space.py",
+        "custom_workload.py",
+        "related_work_comparison.py",
+        "directed_microbenchmarks.py",
+    ])
+    def test_example_compiles_and_has_main(self, name):
+        path = REPO_ROOT / "examples" / name
+        source = path.read_text()
+        compiled = compile(source, str(path), "exec")
+        assert "main" in source
+        namespace = {"__name__": "not_main", "__file__": str(path)}
+        exec(compiled, namespace)  # definitions only; main() not called
+        assert callable(namespace["main"])
+
+
+class TestDocumentsExist:
+    @pytest.mark.parametrize("name", [
+        "README.md", "DESIGN.md", "pyproject.toml",
+    ])
+    def test_present_and_nonempty(self, name):
+        path = REPO_ROOT / name
+        assert path.exists()
+        assert len(path.read_text()) > 200

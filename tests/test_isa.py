@@ -1,0 +1,141 @@
+"""Unit tests for the micro-ISA package."""
+
+import pytest
+
+from repro.isa import (
+    DynInst,
+    FUType,
+    FU_FOR_OPCLASS,
+    LATENCY,
+    OpClass,
+    Reg,
+    RegClass,
+    fp_reg,
+    int_reg,
+    is_branch,
+    is_fp,
+    is_mem,
+)
+from repro.isa.opclass import (
+    INT_OPERATIONS,
+    IXU_ELIGIBLE,
+    is_load,
+    is_store,
+)
+from repro.isa.registers import NUM_INT_REGS, ZERO_INDEX, ZERO_REG
+
+
+class TestOpClass:
+    def test_every_opclass_has_latency(self):
+        for op in OpClass:
+            assert LATENCY[op] >= 1
+
+    def test_every_opclass_has_fu(self):
+        for op in OpClass:
+            assert FU_FOR_OPCLASS[op] in FUType
+
+    def test_branch_predicates(self):
+        assert is_branch(OpClass.BR_COND)
+        assert is_branch(OpClass.BR_UNCOND)
+        assert is_branch(OpClass.CALL)
+        assert is_branch(OpClass.RET)
+        assert not is_branch(OpClass.INT_ALU)
+        assert not is_branch(OpClass.LOAD)
+
+    def test_fp_predicate_excludes_fp_mem(self):
+        assert is_fp(OpClass.FP_ADD)
+        assert is_fp(OpClass.FP_DIV)
+        assert not is_fp(OpClass.FP_LOAD)
+        assert not is_fp(OpClass.FP_STORE)
+
+    def test_mem_predicates(self):
+        assert is_mem(OpClass.LOAD) and is_load(OpClass.LOAD)
+        assert is_mem(OpClass.FP_STORE) and is_store(OpClass.FP_STORE)
+        assert not is_load(OpClass.STORE)
+        assert not is_store(OpClass.FP_LOAD)
+
+    def test_ixu_excludes_fp_arithmetic(self):
+        """The IXU has no FP units (paper Section II-D2)."""
+        assert OpClass.FP_ADD not in IXU_ELIGIBLE
+        assert OpClass.FP_MUL not in IXU_ELIGIBLE
+        assert OpClass.FP_DIV not in IXU_ELIGIBLE
+        # ... but does execute integer ops, branches and memory ops.
+        assert OpClass.INT_ALU in IXU_ELIGIBLE
+        assert OpClass.BR_COND in IXU_ELIGIBLE
+        assert OpClass.LOAD in IXU_ELIGIBLE
+        assert OpClass.FP_STORE in IXU_ELIGIBLE
+
+    def test_int_operations_exclude_memory(self):
+        """Paper VI-C: INT operations exclude loads/stores."""
+        assert OpClass.LOAD not in INT_OPERATIONS
+        assert OpClass.STORE not in INT_OPERATIONS
+        assert OpClass.BR_COND in INT_OPERATIONS
+
+    def test_fp_slower_than_int(self):
+        assert LATENCY[OpClass.FP_MUL] > LATENCY[OpClass.INT_ALU]
+        assert LATENCY[OpClass.INT_DIV] > LATENCY[OpClass.INT_MUL]
+
+
+class TestRegisters:
+    def test_int_fp_distinct(self):
+        assert int_reg(3) != fp_reg(3)
+        assert int_reg(3) == Reg(RegClass.INT, 3)
+
+    def test_zero_register(self):
+        assert ZERO_REG.is_zero
+        assert not int_reg(0).is_zero
+        assert fp_reg(ZERO_INDEX).is_zero
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            int_reg(NUM_INT_REGS)
+        with pytest.raises(ValueError):
+            fp_reg(-1)
+
+    def test_hashable_and_repr(self):
+        regs = {int_reg(1), int_reg(1), fp_reg(1)}
+        assert len(regs) == 2
+        assert repr(int_reg(5)) == "r5"
+        assert repr(fp_reg(5)) == "f5"
+
+
+class TestDynInst:
+    def test_plain_alu(self):
+        inst = DynInst(seq=0, pc=0x1000, op=OpClass.INT_ALU,
+                       dest=int_reg(1), srcs=(int_reg(2), int_reg(3)))
+        assert not inst.is_branch
+        assert not inst.is_mem
+        assert inst.next_pc == 0x1004
+
+    def test_load_requires_address(self):
+        with pytest.raises(ValueError):
+            DynInst(seq=0, pc=0, op=OpClass.LOAD, dest=int_reg(1))
+
+    def test_non_mem_rejects_address(self):
+        with pytest.raises(ValueError):
+            DynInst(seq=0, pc=0, op=OpClass.INT_ALU, dest=int_reg(1),
+                    mem_addr=0x100)
+
+    def test_taken_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            DynInst(seq=0, pc=0, op=OpClass.BR_COND, taken=True)
+
+    def test_branch_next_pc(self):
+        taken = DynInst(seq=0, pc=0x1000, op=OpClass.BR_COND,
+                        srcs=(int_reg(1),), taken=True, target=0x2000)
+        not_taken = DynInst(seq=1, pc=0x1000, op=OpClass.BR_COND,
+                            srcs=(int_reg(1),), taken=False)
+        assert taken.next_pc == 0x2000
+        assert not_taken.next_pc == 0x1004
+
+    def test_load_properties(self):
+        inst = DynInst(seq=0, pc=0, op=OpClass.FP_LOAD, dest=fp_reg(0),
+                       srcs=(int_reg(30),), mem_addr=0x8000, mem_size=8)
+        assert inst.is_mem and inst.is_load and not inst.is_store
+
+    def test_repr_smoke(self):
+        inst = DynInst(seq=7, pc=0x1000, op=OpClass.STORE,
+                       srcs=(int_reg(30), int_reg(2)), mem_addr=0xbeef,
+                       mem_size=8)
+        text = repr(inst)
+        assert "store" in text and "beef" in text

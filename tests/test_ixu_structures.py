@@ -1,0 +1,112 @@
+"""Unit tests for the IXU structural models (bypass registry, stage FUs)."""
+
+from repro.core.inflight import InFlight
+from repro.isa import DynInst, OpClass, int_reg
+from repro.isa.registers import RegClass
+from repro.ixu import BypassRegistry, StageFUUsage
+
+
+def _entry(seq=0):
+    inst = DynInst(seq=seq, pc=0x1000, op=OpClass.INT_ALU,
+                   dest=int_reg(1), srcs=(int_reg(2),))
+    return InFlight(inst, fetch_cycle=0)
+
+
+class TestBypassRegistry:
+    def test_value_reachable_next_cycle(self):
+        registry = BypassRegistry(depth=3, stage_limit=2)
+        producer = _entry()
+        registry.record(RegClass.INT, 40, producer,
+                        exec_cycle=10, exec_pos=0, value_ready=11)
+        # Same cycle: not yet (paper Figure 3: next-cycle use).
+        assert not registry.available(RegClass.INT, 40, 10, 0)
+        # Next cycle, consumer one stage behind the travelling value.
+        assert registry.available(RegClass.INT, 40, 11, 0)
+
+    def test_value_travels_with_producer(self):
+        """The result re-drives at the producer's current stage
+        (pass-through path, paper Figure 6)."""
+        registry = BypassRegistry(depth=3, stage_limit=2)
+        registry.record(RegClass.INT, 40, _entry(),
+                        exec_cycle=10, exec_pos=0, value_ready=11)
+        # Two cycles later the producer sits at stage 2; a consumer at
+        # stage 0 is exactly 2 stages away: reachable with limit 2.
+        assert registry.available(RegClass.INT, 40, 12, 0)
+        # Three cycles later the producer has exited (pos 3 == depth):
+        # still reachable from stage 1 (distance 2)...
+        assert registry.available(RegClass.INT, 40, 13, 1)
+        # ...but not from stage 0 (distance 3 > limit).
+        assert not registry.available(RegClass.INT, 40, 13, 0)
+
+    def test_value_leaves_pipe(self):
+        registry = BypassRegistry(depth=3, stage_limit=None)
+        registry.record(RegClass.INT, 40, _entry(),
+                        exec_cycle=10, exec_pos=2, value_ready=11)
+        # exec at pos 2, depth 3: exits at cycle 11 (pos 3), gone at 12.
+        assert registry.available(RegClass.INT, 40, 11, 0)
+        assert not registry.available(RegClass.INT, 40, 12, 0)
+
+    def test_full_network_has_no_distance_limit(self):
+        registry = BypassRegistry(depth=5, stage_limit=None)
+        registry.record(RegClass.INT, 40, _entry(),
+                        exec_cycle=10, exec_pos=0, value_ready=11)
+        assert registry.available(RegClass.INT, 40, 14, 0)  # distance 4
+
+    def test_slow_value_not_ready(self):
+        """A load's value is gated by its completion, not its position."""
+        registry = BypassRegistry(depth=3, stage_limit=2)
+        registry.record(RegClass.INT, 40, _entry(),
+                        exec_cycle=10, exec_pos=0, value_ready=13)
+        assert not registry.available(RegClass.INT, 40, 12, 2)
+        assert registry.available(RegClass.INT, 40, 13, 2)
+
+    def test_unknown_register(self):
+        registry = BypassRegistry(depth=3, stage_limit=2)
+        assert not registry.available(RegClass.INT, 99, 10, 0)
+
+    def test_squashed_producer_invisible(self):
+        registry = BypassRegistry(depth=3, stage_limit=2)
+        producer = _entry()
+        registry.record(RegClass.INT, 40, producer,
+                        exec_cycle=10, exec_pos=0, value_ready=11)
+        producer.squashed = True
+        assert not registry.available(RegClass.INT, 40, 11, 0)
+        registry.drop_squashed()
+        assert len(registry) == 0
+
+    def test_prune_removes_departed(self):
+        registry = BypassRegistry(depth=3, stage_limit=2)
+        registry.record(RegClass.INT, 40, _entry(),
+                        exec_cycle=10, exec_pos=0, value_ready=11)
+        registry.prune(20)
+        assert len(registry) == 0
+
+    def test_classes_are_distinct(self):
+        registry = BypassRegistry(depth=3, stage_limit=None)
+        registry.record(RegClass.INT, 40, _entry(),
+                        exec_cycle=10, exec_pos=0, value_ready=11)
+        assert not registry.available(RegClass.FP, 40, 11, 0)
+
+
+class TestStageFUUsage:
+    def test_capacity_per_stage_per_cycle(self):
+        usage = StageFUUsage((3, 1, 1))
+        assert usage.try_use(5, 0)
+        assert usage.try_use(5, 0)
+        assert usage.try_use(5, 0)
+        assert not usage.try_use(5, 0)   # stage 0 exhausted
+        assert usage.try_use(5, 1)
+        assert not usage.try_use(5, 1)   # stage 1 has one FU
+        assert usage.try_use(6, 0)       # new cycle resets
+
+    def test_zero_fu_stage(self):
+        usage = StageFUUsage((3, 0))
+        assert not usage.try_use(1, 1)
+
+    def test_paper_example_shape(self):
+        """The paper's example IXU is 2 FUs x 2 stages (Figure 3)."""
+        usage = StageFUUsage((2, 2))
+        assert usage.try_use(1, 0) and usage.try_use(1, 0)
+        assert not usage.try_use(1, 0)
+        assert usage.try_use(2, 1) and usage.try_use(2, 1)
+        assert not usage.try_use(2, 1)

@@ -1,0 +1,62 @@
+"""Tests for the next-line prefetcher (DESIGN.md substitution)."""
+
+from dataclasses import replace
+
+from repro.mem import CacheHierarchy, HierarchyConfig
+
+
+class TestPrefetcher:
+    def test_sequential_stream_mostly_hits(self):
+        hierarchy = CacheHierarchy()
+        misses = 0
+        for i in range(2000):
+            result = hierarchy.load(0x100000 + 8 * i)
+            misses += not result.l1_hit
+        # One demand miss per (degree+1) lines at worst.
+        assert misses < 2000 * 8 / 64 / 2
+
+    def test_prefetches_counted(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.load(0x100000)
+        assert hierarchy.prefetches >= 1
+
+    def test_prefetch_does_not_pollute_demand_stats(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.load(0x100000)   # 1 demand access, N prefetch fills
+        assert hierarchy.l1d.stats.accesses == 1
+
+    def test_prefetched_line_resident(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.load(0x100000)
+        degree = hierarchy.config.prefetch_degree
+        for step in range(1, degree + 1):
+            assert hierarchy.l1d.probe(0x100000 + 64 * step)
+
+    def test_disabled_prefetcher(self):
+        config = HierarchyConfig(prefetch_degree=0)
+        hierarchy = CacheHierarchy(config)
+        hierarchy.load(0x100000)
+        assert not hierarchy.l1d.probe(0x100000 + 64)
+        # Every new line misses on a sequential walk.
+        misses = 0
+        for i in range(256):
+            result = hierarchy.load(0x200000 + 64 * i)
+            misses += not result.l1_hit
+        assert misses == 256
+
+    def test_random_walk_not_helped_much(self):
+        import random
+
+        rng = random.Random(3)
+        hierarchy = CacheHierarchy()
+        misses = 0
+        for _ in range(1000):
+            addr = 0x100000 + 64 * rng.randrange(1 << 14)  # 1 MB region
+            result = hierarchy.load(addr)
+            misses += not result.l1_hit
+        assert misses > 500  # prefetching can't fix random access
+
+    def test_icache_prefetch(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.fetch(0x400000)
+        assert hierarchy.l1i.probe(0x400000 + 64)

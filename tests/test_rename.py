@@ -1,0 +1,172 @@
+"""Unit tests for register renaming."""
+
+import pytest
+
+from repro.isa import DynInst, OpClass, RegClass, fp_reg, int_reg
+from repro.rename import (
+    FreeList,
+    PhysicalRegisterFile,
+    RAT,
+    Renamer,
+    Scoreboard,
+)
+from repro.rename.prf import ALWAYS_READY, NEVER
+
+
+def _alu(seq, dest, srcs):
+    return DynInst(seq=seq, pc=0x1000 + 4 * seq, op=OpClass.INT_ALU,
+                   dest=dest, srcs=srcs)
+
+
+class TestFreeList:
+    def test_fifo_order(self):
+        free = FreeList([5, 6, 7])
+        assert free.allocate() == 5
+        assert free.allocate() == 6
+        free.release(5)
+        assert free.allocate() == 7
+        assert free.allocate() == 5
+
+    def test_can_allocate(self):
+        free = FreeList([1, 2])
+        assert free.can_allocate(2)
+        assert not free.can_allocate(3)
+        free.allocate()
+        assert not free.can_allocate(2)
+
+    def test_overflow_guard(self):
+        free = FreeList([1])
+        with pytest.raises(RuntimeError):
+            free.release(9)
+
+
+class TestRAT:
+    def test_lookup_and_rename(self):
+        rat = RAT({int_reg(1): 1, int_reg(2): 2})
+        assert rat.lookup(int_reg(1)) == 1
+        undo = rat.rename(int_reg(1), 40)
+        assert rat.lookup(int_reg(1)) == 40
+        assert undo.old_physical == 1
+
+    def test_undo_restores(self):
+        rat = RAT({int_reg(1): 1})
+        undo_a = rat.rename(int_reg(1), 40)
+        undo_b = rat.rename(int_reg(1), 41)
+        rat.undo(undo_b)
+        rat.undo(undo_a)
+        assert rat.lookup(int_reg(1)) == 1
+
+    def test_undo_out_of_order_rejected(self):
+        rat = RAT({int_reg(1): 1})
+        undo_a = rat.rename(int_reg(1), 40)
+        rat.rename(int_reg(1), 41)
+        with pytest.raises(RuntimeError):
+            rat.undo(undo_a)
+
+    def test_port_counters(self):
+        rat = RAT({int_reg(1): 1})
+        rat.lookup(int_reg(1))
+        rat.rename(int_reg(1), 40)
+        assert rat.reads == 1 and rat.writes == 1
+
+
+class TestPRF:
+    def test_ready_lifecycle(self):
+        prf = PhysicalRegisterFile(8)
+        assert prf.is_ready(3, 0)
+        prf.mark_pending(3)
+        assert not prf.is_ready(3, 100)
+        # Bypass readiness and PRF visibility are distinct timestamps.
+        prf.mark_ready(3, 17)
+        assert prf.ready_cycle(3) == 17
+        assert not prf.is_ready(3, 17)   # not yet written back
+        prf.mark_written(3, 19)
+        assert not prf.is_ready(3, 18)
+        assert prf.is_ready(3, 19)
+
+    def test_port_counters(self):
+        prf = PhysicalRegisterFile(8)
+        prf.read(0)
+        prf.mark_ready(1, 5)
+        assert prf.reads == 1 and prf.writes == 1
+
+    def test_reset_entry(self):
+        prf = PhysicalRegisterFile(8)
+        prf.mark_pending(2)
+        prf.reset_entry(2)
+        assert prf.is_ready(2, 0)
+
+
+class TestScoreboard:
+    def test_tracks_prf(self):
+        prf = PhysicalRegisterFile(8)
+        board = Scoreboard(prf)
+        prf.mark_pending(4)
+        assert not board.is_ready(4, 50)
+        prf.mark_ready(4, 10)
+        prf.mark_written(4, 10)
+        assert board.is_ready(4, 10)
+        assert board.reads == 2
+        assert board.entries == 8
+
+
+class TestRenamer:
+    def test_dependency_chain_maps_through(self):
+        renamer = Renamer()
+        producer = renamer.rename(_alu(0, int_reg(5), (int_reg(1),)))
+        consumer = renamer.rename(_alu(1, int_reg(6), (int_reg(5),)))
+        assert consumer.srcs[0] == (RegClass.INT, producer.dest)
+
+    def test_same_logical_gets_fresh_physical(self):
+        renamer = Renamer()
+        first = renamer.rename(_alu(0, int_reg(5), ()))
+        second = renamer.rename(_alu(1, int_reg(5), ()))
+        assert first.dest != second.dest
+        assert second.old_dest == first.dest
+
+    def test_commit_releases_old_mapping(self):
+        renamer = Renamer()
+        before = renamer.free_regs(RegClass.INT)
+        renamed = renamer.rename(_alu(0, int_reg(5), ()))
+        assert renamer.free_regs(RegClass.INT) == before - 1
+        renamer.commit(renamed)
+        assert renamer.free_regs(RegClass.INT) == before
+
+    def test_squash_restores_map_and_freelist(self):
+        renamer = Renamer()
+        before_preg = renamer.rat[RegClass.INT].lookup(int_reg(5))
+        before_free = renamer.free_regs(RegClass.INT)
+        renamed_a = renamer.rename(_alu(0, int_reg(5), ()))
+        renamed_b = renamer.rename(_alu(1, int_reg(5), ()))
+        renamer.squash(renamed_b)
+        renamer.squash(renamed_a)
+        assert renamer.rat[RegClass.INT].lookup(int_reg(5)) == before_preg
+        assert renamer.free_regs(RegClass.INT) == before_free
+
+    def test_exhaustion(self):
+        renamer = Renamer(int_prf_entries=34, fp_prf_entries=33)
+        inst0 = _alu(0, int_reg(1), ())
+        assert renamer.can_rename(inst0)
+        renamer.rename(inst0)
+        renamer.rename(_alu(1, int_reg(2), ()))
+        assert not renamer.can_rename(_alu(2, int_reg(3), ()))
+
+    def test_store_needs_no_dest(self):
+        renamer = Renamer(int_prf_entries=33, fp_prf_entries=33)
+        store = DynInst(seq=0, pc=0, op=OpClass.STORE,
+                        srcs=(int_reg(30), int_reg(2)), mem_addr=0x100,
+                        mem_size=8)
+        renamer.rename(store)  # uses no free regs
+        assert renamer.can_rename(store)
+
+    def test_fp_class_separated(self):
+        renamer = Renamer()
+        fp_inst = DynInst(seq=0, pc=0, op=OpClass.FP_ADD, dest=fp_reg(4),
+                          srcs=(fp_reg(1), fp_reg(2)))
+        renamed = renamer.rename(fp_inst)
+        assert renamed.dest_cls is RegClass.FP
+        assert all(cls is RegClass.FP for cls, _ in renamed.srcs)
+
+    def test_rejects_too_small_prf(self):
+        with pytest.raises(ValueError):
+            Renamer(int_prf_entries=32)

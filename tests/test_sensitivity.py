@@ -1,0 +1,35 @@
+"""Tests for the IQ-size sensitivity ablation."""
+
+from repro.experiments import sensitivity
+
+SMALL = dict(measure=1200, warmup=5000)
+
+
+class TestSensitivity:
+    def test_structure_and_shapes(self):
+        results = sensitivity.run(
+            benchmarks=["hmmer", "libquantum"],
+            sweep=((64, 4), (32, 2), (8, 2)),
+            **SMALL,
+        )
+        without = results["without_ixu"]
+        with_ixu = results["with_ixu"]
+        # The 64x4 point without an IXU *is* BIG.
+        assert without["64x4"]["ipc"] == 1.0
+        assert without["64x4"]["iq_energy"] == 1.0
+        # The paper's claim: with the IXU, shrinking the IQ costs much
+        # less performance than without it.
+        loss_without = without["64x4"]["ipc"] - without["8x2"]["ipc"]
+        loss_with = with_ixu["64x4"]["ipc"] - with_ixu["8x2"]["ipc"]
+        assert loss_with <= loss_without + 0.02
+        # And the IXU slashes IQ energy at every point.
+        for point in without:
+            assert (with_ixu[point]["iq_energy"]
+                    < without[point]["iq_energy"])
+
+    def test_format(self):
+        results = sensitivity.run(
+            benchmarks=["hmmer"], sweep=((64, 4), (32, 2)), **SMALL
+        )
+        text = sensitivity.format_table(results)
+        assert "Sensitivity" in text and "64x4" in text

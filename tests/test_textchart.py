@@ -1,0 +1,50 @@
+"""Tests for the text-chart renderers."""
+
+from repro.experiments.textchart import bar_chart, grouped_chart, series_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart({"BIG": 1.0, "HALF+FX": 1.05}, title="IPC")
+        assert "IPC" in text
+        assert "BIG" in text and "HALF+FX" in text
+        assert "1.050" in text
+
+    def test_longest_bar_fills_width(self):
+        text = bar_chart({"a": 2.0, "b": 1.0}, width=10)
+        line_a = next(l for l in text.splitlines() if l.startswith("a"))
+        line_b = next(l for l in text.splitlines() if l.startswith("b"))
+        assert line_a.count("█") == 10
+        assert line_b.count("█") == 5
+
+    def test_reference_marker(self):
+        text = bar_chart({"x": 0.5, "y": 2.0}, reference=1.0, width=20)
+        assert "|" in text or "¦" in text
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0}, reference=1.0)
+        assert "0.000" in text
+
+
+class TestGroupedChart:
+    def test_groups_render(self):
+        text = grouped_chart({"INT": {"BIG": 1.0}, "FP": {"BIG": 0.9}})
+        assert "-- INT" in text and "-- FP" in text
+
+
+class TestSeriesChart:
+    def test_figure12_style(self):
+        data = {"INT": {1: 0.4, 3: 0.6}, "FP": {1: 0.3, 3: 0.5}}
+        text = series_chart(data, title="Figure 12")
+        assert "Figure 12" in text
+        assert "0.600" in text
+        lines = text.splitlines()
+        assert lines[1].split() == ["x", "1", "3"]
+
+    def test_missing_points_padded(self):
+        data = {"a": {1: 0.5}, "b": {1: 0.5, 2: 0.6}}
+        text = series_chart(data)
+        assert "0.600" in text

@@ -1,0 +1,88 @@
+"""Tests for trace serialization."""
+
+import io
+
+import pytest
+
+from repro.isa import DynInst, OpClass, fp_reg, int_reg
+from repro.workloads import generate_trace
+from repro.workloads.io import (
+    TraceFormatError,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    save_trace,
+)
+
+
+class TestRoundTrip:
+    def test_generated_trace_round_trips(self):
+        trace = generate_trace("gcc", 2000)
+        text = dumps_trace(trace)
+        loaded = loads_trace(text)
+        assert loaded == trace
+
+    def test_file_round_trip(self, tmp_path):
+        trace = generate_trace("lbm", 500)
+        path = tmp_path / "lbm.trace"
+        count = save_trace(trace, path)
+        assert count == 500
+        assert load_trace(path) == trace
+
+    def test_all_operand_shapes(self):
+        trace = [
+            DynInst(seq=0, pc=0x1000, op=OpClass.INT_ALU,
+                    dest=int_reg(1), srcs=(int_reg(2), int_reg(3))),
+            DynInst(seq=1, pc=0x1004, op=OpClass.FP_MUL,
+                    dest=fp_reg(4), srcs=(fp_reg(5), fp_reg(6))),
+            DynInst(seq=2, pc=0x1008, op=OpClass.LOAD, dest=int_reg(7),
+                    srcs=(int_reg(8),), mem_addr=0xdead0, mem_size=4),
+            DynInst(seq=3, pc=0x100c, op=OpClass.FP_STORE,
+                    srcs=(int_reg(9), fp_reg(10)), mem_addr=0xbeef0,
+                    mem_size=8),
+            DynInst(seq=4, pc=0x1010, op=OpClass.BR_COND,
+                    srcs=(int_reg(11),), taken=True, target=0x1000),
+            DynInst(seq=5, pc=0x1000, op=OpClass.BR_COND,
+                    srcs=(int_reg(11),), taken=False),
+            DynInst(seq=6, pc=0x1004, op=OpClass.RET, taken=True,
+                    target=0x2000),
+        ]
+        assert loads_trace(dumps_trace(trace)) == trace
+
+    def test_loaded_trace_runs_on_core(self):
+        from repro.core import build_core
+
+        trace = loads_trace(dumps_trace(generate_trace("hmmer", 800)))
+        stats = build_core("HALF+FX").run(trace)
+        assert stats.committed == 800
+
+    def test_renumbering_on_load(self):
+        trace = generate_trace("gcc", 20)[5:]
+        loaded = loads_trace(dumps_trace(trace))
+        assert [inst.seq for inst in loaded] == list(range(15))
+
+
+class TestFormatErrors:
+    def test_bad_header(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace("not a trace\n")
+
+    def test_bad_register(self):
+        text = "# repro-trace v1\n0x1000 int_alu d=x7\n"
+        with pytest.raises(TraceFormatError):
+            loads_trace(text)
+
+    def test_bad_opclass(self):
+        text = "# repro-trace v1\n0x1000 warp_drive\n"
+        with pytest.raises(TraceFormatError):
+            loads_trace(text)
+
+    def test_unknown_field(self):
+        text = "# repro-trace v1\n0x1000 int_alu z=9\n"
+        with pytest.raises(TraceFormatError):
+            loads_trace(text)
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = ("# repro-trace v1\n\n# a comment\n"
+                "0x1000 nop\n")
+        assert len(loads_trace(text)) == 1

@@ -1,0 +1,179 @@
+"""Unit tests for synthetic workload profiles, programs and traces."""
+
+import pytest
+
+from repro.isa import OpClass
+from repro.isa.registers import RegClass
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    BranchKind,
+    Mix,
+    StreamKind,
+    TraceGenerator,
+    build_program,
+    generate_trace,
+    get_profile,
+    list_benchmarks,
+    trace_mix,
+)
+
+
+class TestProfiles:
+    def test_29_benchmarks(self):
+        """The paper runs all 29 SPEC CPU2006 programs."""
+        assert len(ALL_BENCHMARKS) == 29
+        assert len(INT_BENCHMARKS) == 12
+        assert len(FP_BENCHMARKS) == 17
+
+    def test_lookup(self):
+        assert get_profile("mcf").suite == "int"
+        assert get_profile("lbm").suite == "fp"
+        with pytest.raises(KeyError):
+            get_profile("nosuchbench")
+
+    def test_list_by_suite(self):
+        assert list_benchmarks("int") == INT_BENCHMARKS
+        assert list_benchmarks("fp") == FP_BENCHMARKS
+        assert list_benchmarks("all") == ALL_BENCHMARKS
+        with pytest.raises(ValueError):
+            list_benchmarks("bogus")
+
+    def test_mix_normalisation(self):
+        mix = Mix(int_alu=2.0, load=1.0, branch=1.0).normalised()
+        assert abs(mix.int_alu - 0.5) < 1e-12
+        assert abs(mix.load - 0.25) < 1e-12
+
+    def test_mix_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Mix(int_alu=0.0).normalised()
+
+    def test_paper_callouts(self):
+        """libquantum and gromacs are >80% INT operations (paper VI-C)."""
+        for name in ("libquantum", "gromacs"):
+            assert get_profile(name).mix.int_operation_fraction > 0.80
+
+    def test_fp_suite_average_fp_ratio(self):
+        """Paper footnote 5: FP suite averages ~30.8% FP instructions."""
+        ratios = [get_profile(n).mix.fp_fraction for n in FP_BENCHMARKS]
+        average = sum(ratios) / len(ratios)
+        assert 0.22 <= average <= 0.40
+        assert max(ratios) >= 0.45  # cactusADM-like max (~52%)
+
+
+class TestProgram:
+    def test_deterministic(self):
+        prog_a = build_program(get_profile("gcc"), seed=1)
+        prog_b = build_program(get_profile("gcc"), seed=1)
+        assert prog_a.static_size == prog_b.static_size
+        assert prog_a.blocks[0].insts == prog_b.blocks[0].insts
+
+    def test_seed_changes_program(self):
+        prog_a = build_program(get_profile("gcc"), seed=1)
+        prog_b = build_program(get_profile("gcc"), seed=2)
+        assert prog_a.blocks[0].insts != prog_b.blocks[0].insts
+
+    def test_blocks_end_in_branches(self):
+        program = build_program(get_profile("astar"), seed=0)
+        for block in program.blocks + program.functions:
+            last = block.insts[-1]
+            assert last.is_branch if hasattr(last, "is_branch") else True
+            assert last.branch is not None
+
+    def test_function_blocks_return(self):
+        program = build_program(get_profile("astar"), seed=0)
+        assert program.functions
+        for func in program.functions:
+            assert func.insts[-1].branch.kind is BranchKind.RET
+
+    def test_streams_cover_patterns(self):
+        program = build_program(get_profile("libquantum"), seed=0)
+        kinds = {s.kind for s in program.streams}
+        assert StreamKind.SEQ in kinds
+        assert StreamKind.STACK in kinds
+
+    def test_unique_pcs(self):
+        program = build_program(get_profile("sjeng"), seed=0)
+        pcs = [i.pc for b in program.blocks + program.functions
+               for i in b.insts]
+        assert len(pcs) == len(set(pcs))
+
+
+class TestTraceGeneration:
+    def test_length_and_sequence(self):
+        trace = generate_trace("hmmer", 2000)
+        assert len(trace) == 2000
+        assert [i.seq for i in trace] == list(range(2000))
+
+    def test_deterministic(self):
+        t1 = generate_trace("bzip2", 1000, seed=3)
+        t2 = generate_trace("bzip2", 1000, seed=3)
+        assert t1 == t2
+
+    def test_seeds_differ(self):
+        t1 = generate_trace("bzip2", 1000, seed=3)
+        t2 = generate_trace("bzip2", 1000, seed=4)
+        assert t1 != t2
+
+    def test_control_flow_consistent(self):
+        """Every instruction's PC must equal the previous next_pc."""
+        trace = generate_trace("gobmk", 3000)
+        for prev, cur in zip(trace, trace[1:]):
+            assert cur.pc == prev.next_pc
+
+    def test_mem_ops_have_addresses(self):
+        trace = generate_trace("mcf", 2000)
+        mems = [i for i in trace if i.is_mem]
+        assert mems
+        for inst in mems:
+            assert inst.mem_addr is not None
+            assert inst.mem_size > 0
+
+    def test_int_suite_has_no_fp(self):
+        trace = generate_trace("libquantum", 2000)
+        assert all(
+            i.op not in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV)
+            for i in trace
+        )
+
+    def test_fp_suite_has_fp(self):
+        mix = trace_mix(generate_trace("cactusADM", 4000))
+        assert mix["fp_ops"] > 0.30
+
+    def test_mix_tracks_profile(self):
+        """Generated branch/load fractions stay near the profile spec."""
+        for name in ("gcc", "mcf", "lbm"):
+            spec = get_profile(name).mix.normalised()
+            got = trace_mix(generate_trace(name, 8000))
+            assert abs(got["branches"] - spec.branch) < 0.06
+            assert abs(got["loads"] - (spec.load)) < 0.09
+
+    def test_no_zero_register_operands(self):
+        trace = generate_trace("perlbench", 3000)
+        for inst in trace:
+            if inst.dest is not None:
+                assert not inst.dest.is_zero
+            for src in inst.srcs:
+                assert not src.is_zero
+
+    def test_generator_resumable(self):
+        profile = get_profile("sjeng")
+        program = build_program(profile, seed=0)
+        gen = TraceGenerator(program, seed=0)
+        part1 = gen.generate(500)
+        part2 = gen.generate(500)
+        whole = TraceGenerator(program, seed=0).generate(1000)
+        assert part1 + part2 == whole
+
+    def test_stack_stream_creates_reuse(self):
+        """Stack-stream loads must sometimes hit recent store addresses."""
+        trace = generate_trace("gcc", 20000)
+        store_addrs = set()
+        forwarded = 0
+        for inst in trace:
+            if inst.is_store:
+                store_addrs.add(inst.mem_addr)
+            elif inst.is_load and inst.mem_addr in store_addrs:
+                forwarded += 1
+        assert forwarded > 0
