@@ -1,0 +1,41 @@
+"""Benchmark raw simulator throughput (simulated instructions/second).
+
+Unlike the per-figure benchmarks, this one times ``simulate`` directly —
+no caches, no experiment aggregation — so regressions in the core tick
+loops show up undiluted.  The measured simulated-instructions-per-second
+rate is attached to the pytest-benchmark record as ``extra_info``.
+"""
+
+from conftest import MEASURE, WARMUP, run_once
+
+from repro.core import model_config
+from repro.experiments.runner import simulate
+
+#: The headline workload mix: every model family on an INT and an FP
+#: benchmark (hmmer exercises the IXU heavily, lbm the memory system).
+SIMSPEED_MODELS = ("BIG", "HALF+FX", "LITTLE")
+SIMSPEED_BENCHMARKS = ("hmmer", "lbm")
+
+
+def _simulate_mix(measure, warmup):
+    committed = 0
+    for model in SIMSPEED_MODELS:
+        config = model_config(model)
+        for bench in SIMSPEED_BENCHMARKS:
+            run = simulate(config, bench, measure, warmup)
+            committed += run.stats.committed
+    return committed
+
+
+def test_bench_simspeed(benchmark):
+    committed = run_once(benchmark, _simulate_mix, MEASURE, WARMUP)
+    assert committed == MEASURE * len(SIMSPEED_MODELS) * len(
+        SIMSPEED_BENCHMARKS
+    )
+    if benchmark.stats is None:  # --benchmark-disable
+        return
+    elapsed = benchmark.stats.stats.total
+    if elapsed > 0:
+        benchmark.extra_info["simulated_insts_per_second"] = (
+            committed / elapsed
+        )

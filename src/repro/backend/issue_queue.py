@@ -59,6 +59,19 @@ class IssueQueue:
         self._entries.remove(entry)
         self.issues += 1
 
+    def note_issue(self) -> None:
+        """Count a payload read whose removal is deferred.
+
+        The select loop marks the entry ``issued`` and calls
+        :meth:`remove_issued` once per cycle, replacing an O(n)
+        ``list.remove`` per issued instruction with one sweep.
+        """
+        self.issues += 1
+
+    def remove_issued(self) -> None:
+        """Sweep entries the core marked ``issued`` out of the window."""
+        self._entries = [e for e in self._entries if not e.issued]
+
     def broadcast_wakeup(self) -> None:
         """A producer completed: tag broadcast against all live entries."""
         self.wakeup_broadcasts += 1

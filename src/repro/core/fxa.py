@@ -180,13 +180,20 @@ class FXACore(OutOfOrderCore):
 
     def _enter_pipe(self) -> None:
         """Register-read stage: capture available operands, enter stage 0."""
+        regread_q = self._regread_q
+        if not regread_q:
+            return
         width = self.config.rename_width
+        cycle = self.cycle
+        scoreboard = self.renamer.scoreboard
+        prf = self.renamer.prf
+        ixu_pipe = self._ixu_pipe
         entered = 0
-        while self._regread_q and entered < width:
-            entry = self._regread_q[0]
-            if entry.dispatch_cycle > self.cycle:  # regread not due yet
+        while regread_q and entered < width:
+            entry = regread_q[0]
+            if entry.dispatch_cycle > cycle:  # regread not due yet
                 break
-            self._regread_q.popleft()
+            regread_q.popleft()
             if entry.squashed:
                 continue
             captured = []
@@ -197,19 +204,18 @@ class FXACore(OutOfOrderCore):
                 # (OXU priority, Section II-A).  A value missed here can
                 # still arrive via IXU bypassing or the issue queue.
                 if (
-                    self.renamer.scoreboard[cls].is_ready(preg,
-                                                          self.cycle)
-                    and self._prf_port_free(self.cycle)
+                    scoreboard[cls].is_ready(preg, cycle)
+                    and self._prf_port_free(cycle)
                 ):
-                    self.renamer.prf[cls].read(preg)
-                    self._claim_prf_port(self.cycle)
+                    prf[cls].read(preg)
+                    self._claim_prf_port(cycle)
                     captured.append(True)
                 else:
                     captured.append(False)
             entry.regread_captured = tuple(captured)
             entry.ixu_pos = 0
             entry.ixu_exec_cycle = -1
-            self._ixu_pipe.append(entry)
+            ixu_pipe.append(entry)
             entered += 1
 
     # ------------------------------------------------------------------

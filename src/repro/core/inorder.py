@@ -29,6 +29,14 @@ from repro.core.ooo import DEADLOCK_LIMIT, SimulationError
 #: Store-buffer entries kept for forwarding.
 STORE_BUFFER_DEPTH = 8
 
+#: 1-cycle integer ops the late-ALU slot may dual-issue.
+_SIMPLE_INT = frozenset(
+    {OpClass.INT_ALU, OpClass.BR_COND, OpClass.BR_UNCOND}
+)
+
+#: FP arithmetic classes counted at commit (not FP loads/stores).
+_FP_ARITH = frozenset({OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV})
+
 
 class InOrderCore:
     """In-order superscalar (LITTLE of Table I)."""
@@ -104,14 +112,20 @@ class InOrderCore:
         if self.waiting_branch is not None:
             return
         config = self.config
+        trace = self.trace
+        trace_len = len(trace)
+        issue_q = self.issue_q
+        line_bytes = config.hierarchy.line_bytes
+        fetch_width = config.fetch_width
+        queue_depth = config.frontend_queue_depth
         fetched = 0
         while (
-            fetched < config.fetch_width
-            and self.fetch_idx < len(self.trace)
-            and len(self.issue_q) < config.frontend_queue_depth
+            fetched < fetch_width
+            and self.fetch_idx < trace_len
+            and len(issue_q) < queue_depth
         ):
-            inst = self.trace[self.fetch_idx]
-            line = inst.pc // config.hierarchy.line_bytes
+            inst = trace[self.fetch_idx]
+            line = inst.pc // line_bytes
             if line != self._last_fetched_line:
                 result = self.hierarchy.fetch(inst.pc)
                 self._last_fetched_line = line
@@ -153,37 +167,45 @@ class InOrderCore:
         return self._reg_ready.get(reg, 0) <= cycle
 
     def _issue(self) -> None:
+        issue_q = self.issue_q
+        if not issue_q:
+            return
         issued = 0
         cycle = self.cycle
+        width = self.config.issue_width
+        fu = self.fu
+        reg_ready = self._reg_ready
         # Early/late ALU pairing (after Cortex-A53): one dependent
         # 1-cycle integer op per cycle may dual-issue behind its
         # producer, executing in the late ALU stage with an
         # early-to-late forward.
         early_results = set()
         late_slot_used = False
-        while self.issue_q and issued < self.config.issue_width:
-            entry = self.issue_q[0]
+        while issue_q and issued < width:
+            entry = issue_q[0]
             if entry.issue_ready > cycle:
                 break
             inst = entry.inst
-            is_simple_int = inst.op in (OpClass.INT_ALU, OpClass.BR_COND,
-                                        OpClass.BR_UNCOND)
-            pending = [src for src in inst.srcs
-                       if not self._ready(src, cycle)]
             uses_late = False
-            if pending:
-                if (is_simple_int and not late_slot_used
-                        and all(src in early_results for src in pending)):
+            stalled = False
+            for src in inst.srcs:
+                if reg_ready.get(src, 0) > cycle:
+                    # RAW hazard: every pending source must be an early
+                    # result forwardable to the late ALU slot.
+                    if (late_slot_used or src not in early_results
+                            or inst.op not in _SIMPLE_INT):
+                        stalled = True
+                        break
                     uses_late = True
-                else:
-                    break  # RAW hazard: stall in order
+            if stalled:
+                break  # RAW hazard: stall in order
             # WAW: destination's previous write must have completed.
-            if inst.dest is not None and not self._ready(inst.dest, cycle):
+            dest = inst.dest
+            if dest is not None and reg_ready.get(dest, 0) > cycle:
                 break
-            fu_type = FU_FOR_OPCLASS[inst.op]
-            if not self.fu[fu_type].try_issue(inst.op, cycle):
+            if not fu[FU_FOR_OPCLASS[inst.op]].try_issue(inst.op, cycle):
                 break
-            self.issue_q.popleft()
+            issue_q.popleft()
             self._rf_reads += len(inst.srcs)
             self._execute(entry, cycle)
             if uses_late:
@@ -226,15 +248,16 @@ class InOrderCore:
         )
         # Commit accounting: in-order issue means the instruction will
         # retire; count it now and classify.
-        self.stats.committed += 1
+        stats = self.stats
+        stats.committed += 1
         if inst.is_load:
-            self.stats.committed_loads += 1
-        if inst.is_store:
-            self.stats.committed_stores += 1
-        if inst.is_branch:
-            self.stats.committed_branches += 1
-        if inst.op in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV):
-            self.stats.committed_fp += 1
+            stats.committed_loads += 1
+        elif inst.is_store:
+            stats.committed_stores += 1
+        elif inst.is_branch:
+            stats.committed_branches += 1
+        elif inst.op in _FP_ARITH:
+            stats.committed_fp += 1
 
     # ------------------------------------------------------------------
 

@@ -47,6 +47,9 @@ from repro.mem.hierarchy import CacheHierarchy
 #: Abort the run when commit makes no progress for this many cycles.
 DEADLOCK_LIMIT = 20_000
 
+#: FP arithmetic classes the commit stage counts (not FP loads/stores).
+_FP_ARITH = frozenset({OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV})
+
 
 class SimulationError(RuntimeError):
     """The pipeline wedged (a model bug, surfaced loudly)."""
@@ -151,23 +154,31 @@ class OutOfOrderCore:
         if self.waiting_branch is not None:
             return
         config = self.config
+        cycle = self.cycle
+        trace = self.trace
+        trace_len = len(trace)
+        rename_q = self.rename_q
+        fetch_width = config.fetch_width
+        queue_depth = config.frontend_queue_depth
+        line_bytes = config.hierarchy.line_bytes
+        rename_lat = config.fetch_to_rename
         fetched = 0
         while (
-            fetched < config.fetch_width
-            and self.fetch_idx < len(self.trace)
-            and len(self.rename_q) < config.frontend_queue_depth
+            fetched < fetch_width
+            and self.fetch_idx < trace_len
+            and len(rename_q) < queue_depth
         ):
-            inst = self.trace[self.fetch_idx]
-            line = inst.pc // config.hierarchy.line_bytes
+            inst = trace[self.fetch_idx]
+            line = inst.pc // line_bytes
             if line != self._last_fetched_line:
                 result = self.hierarchy.fetch(inst.pc)
                 self._last_fetched_line = line
                 if not result.l1_hit:
                     # Refill in flight: resume once the line arrives.
-                    self.fetch_resume_cycle = self.cycle + result.latency
+                    self.fetch_resume_cycle = cycle + result.latency
                     break
-            entry = InFlight(inst, fetch_cycle=self.cycle)
-            entry.rename_ready = self.cycle + config.fetch_to_rename
+            entry = InFlight(inst, fetch_cycle=cycle)
+            entry.rename_ready = cycle + rename_lat
             stop_after = False
             if inst.is_branch:
                 self.stats.branches += 1
@@ -180,7 +191,7 @@ class OutOfOrderCore:
                         entry.btb_redirect = True
                         self.stats.btb_redirects += 1
                         self.fetch_resume_cycle = (
-                            self.cycle + config.decode_redirect_latency
+                            cycle + config.decode_redirect_latency
                         )
                     else:
                         entry.mispredicted = True
@@ -189,7 +200,7 @@ class OutOfOrderCore:
                 elif inst.taken and config.fetch_breaks_on_taken:
                     # Simple fetch units stop at a taken branch.
                     stop_after = True
-            self.rename_q.append(entry)
+            rename_q.append(entry)
             self.fetch_idx += 1
             fetched += 1
             self.stats.fetched += 1
@@ -318,24 +329,40 @@ class OutOfOrderCore:
         return dep.squashed or dep.mem_executed or dep.seq >= entry.seq
 
     def _issue(self) -> None:
+        iq = self.iq
+        if not len(iq):
+            return
         issued = 0
         cycle = self.cycle
-        for entry in list(self.iq):
-            if issued >= self.config.issue_width:
+        width = self.config.issue_width
+        fu = self.fu
+        ready_for = {
+            cls: p.ready_cycles for cls, p in self.renamer.prf.items()
+        }
+        # Iterating the queue's live list is safe: issue removal is
+        # deferred to the post-loop sweep, and a mid-loop squash rebinds
+        # the queue's list, leaving this iterator on the old snapshot
+        # (the pre-existing semantics).
+        for entry in iq:
+            if issued >= width:
                 break
             if entry.squashed or entry.issued:
                 continue
             if entry.issue_ready > cycle:
                 continue
-            if not self._srcs_ready(entry, cycle):
+            srcs_ready = True
+            for cls, preg in entry.renamed.srcs:
+                if ready_for[cls][preg] > cycle:
+                    srcs_ready = False
+                    break
+            if not srcs_ready:
                 continue
             inst = entry.inst
             if inst.is_load and not self._load_dependence_clear(entry):
                 continue
-            fu_type = FU_FOR_OPCLASS[inst.op]
-            if not self.fu[fu_type].try_issue(inst.op, cycle):
+            if not fu[FU_FOR_OPCLASS[inst.op]].try_issue(inst.op, cycle):
                 continue
-            self.iq.issue(entry)
+            iq.note_issue()
             entry.issued = True
             issued += 1
             self._execute(entry, cycle, in_ixu=False)
@@ -343,15 +370,20 @@ class OutOfOrderCore:
                 # An ordering violation squashed younger state (possibly
                 # entries later in our snapshot); restart next cycle.
                 break
+        if issued:
+            iq.remove_issued()
 
     def _execute(self, entry: InFlight, cycle: int, in_ixu: bool) -> None:
         """Begin execution at ``cycle``; schedules the completion."""
         inst = entry.inst
         if not in_ixu and entry.renamed is not None:
             # Register-read stage after issue (counts PRF read ports).
-            for cls, preg in entry.renamed.srcs:
-                self.renamer.prf[cls].read(preg)
-                self._claim_prf_port(cycle)
+            srcs = entry.renamed.srcs
+            if srcs:
+                prf = self.renamer.prf
+                for cls, preg in srcs:
+                    prf[cls].read(preg)
+                    self._claim_prf_port(cycle)
         if inst.is_load:
             forwarded = self.lsq.execute_load(entry, in_ixu)
             if forwarded:
@@ -399,15 +431,21 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------
 
     def _process_completions(self) -> None:
-        while self._completions and self._completions[0][0] <= self.cycle:
-            _, _, entry = heapq.heappop(self._completions)
+        completions = self._completions
+        if not completions or completions[0][0] > self.cycle:
+            return
+        cycle = self.cycle
+        heappop = heapq.heappop
+        prf_map = self.renamer.prf
+        while completions and completions[0][0] <= cycle:
+            _, _, entry = heappop(completions)
             if entry.squashed:
                 continue
             entry.done = True
             renamed = entry.renamed
             if (renamed is not None and renamed.dest is not None
                     and not renamed.eliminated):
-                prf = self.renamer.prf[renamed.dest_cls]
+                prf = prf_map[renamed.dest_cls]
                 prf.mark_ready(renamed.dest, entry.complete_cycle)
                 prf.mark_written(renamed.dest,
                                  self._prf_write_cycle(entry))
@@ -503,31 +541,35 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------
 
     def _commit(self) -> None:
+        rob = self.rob
+        cycle = self.cycle
+        stats = self.stats
         committed = 0
-        while committed < self.config.commit_width:
-            head = self.rob.head()
+        width = self.config.commit_width
+        while committed < width:
+            head = rob.head()
             if head is None or not head.done:
                 break
-            if head.complete_cycle > self.cycle:
+            if head.complete_cycle > cycle:
                 break
-            self.rob.pop_head()
+            rob.pop_head()
             inst = head.inst
-            if inst.is_store:
-                self.hierarchy.store(inst.mem_addr)
-                self.stats.committed_stores += 1
-            if inst.is_load:
-                self.stats.committed_loads += 1
             if inst.is_mem:
+                if inst.is_store:
+                    self.hierarchy.store(inst.mem_addr)
+                    stats.committed_stores += 1
+                else:
+                    stats.committed_loads += 1
                 self.lsq.commit(head)
-            if inst.is_branch:
-                self.stats.committed_branches += 1
-            if inst.op in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV):
-                self.stats.committed_fp += 1
+            elif inst.is_branch:
+                stats.committed_branches += 1
+            elif inst.op in _FP_ARITH:
+                stats.committed_fp += 1
             self.renamer.commit(head.renamed)
             self._on_commit(head)
-            self.stats.committed += 1
+            stats.committed += 1
             committed += 1
-            self._last_commit_cycle = self.cycle
+            self._last_commit_cycle = cycle
 
     # ------------------------------------------------------------------
     # Event collection for the energy model

@@ -1,8 +1,12 @@
-"""Simulation result records: timing statistics and energy event counts."""
+"""Simulation result records: timing statistics and energy event counts.
+
+Both records round-trip through plain dicts (``to_dict``/``from_dict``)
+so the disk cache and the CLI ``--json`` output share one codepath.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict
 
 
@@ -57,6 +61,16 @@ class EventCounts:
     l2_accesses: int = 0
     l2_misses: int = 0
     mem_accesses: int = 0
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-serializable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EventCounts":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass
@@ -113,6 +127,30 @@ class CoreStats:
         if not self.branches:
             return 0.0
         return self.mispredictions / self.branches
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-serializable).
+
+        ``ixu_by_stage`` keys become strings so the dict survives a JSON
+        round trip unchanged; :meth:`from_dict` converts them back.
+        """
+        data = asdict(self)
+        data["events"] = self.events.to_dict()
+        data["ixu_by_stage"] = {
+            str(k): v for k, v in self.ixu_by_stage.items()
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CoreStats":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["events"] = EventCounts.from_dict(data.get("events", {}))
+        kwargs["ixu_by_stage"] = {
+            int(k): v for k, v in data.get("ixu_by_stage", {}).items()
+        }
+        return cls(**kwargs)
 
     def summary(self) -> str:
         """One-line human summary."""

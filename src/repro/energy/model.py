@@ -79,6 +79,31 @@ class EnergyBreakdown:
             c: self.component_total(c) / total for c in Component
         }
 
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-serializable); components by value."""
+        return {
+            "model": self.model,
+            "benchmark": self.benchmark,
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "dynamic": {c.value: e for c, e in self.dynamic.items()},
+            "static": {c.value: e for c, e in self.static.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EnergyBreakdown":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            model=data["model"],
+            benchmark=data["benchmark"],
+            cycles=data["cycles"],
+            committed=data["committed"],
+            dynamic={Component(k): v
+                     for k, v in data.get("dynamic", {}).items()},
+            static={Component(k): v
+                    for k, v in data.get("static", {}).items()},
+        )
+
 
 class EnergyModel:
     """Prices :class:`EventCounts` for one core configuration."""

@@ -6,18 +6,29 @@ and ``format_table(results)`` rendering the same series the paper plots;
 command line.
 """
 
+from repro.experiments.diskcache import DiskCache
+from repro.experiments.pool import SimJob, run_jobs
 from repro.experiments.runner import (
     BenchmarkRun,
     run_benchmark,
+    prefetch,
     geomean,
+    set_jobs,
+    set_disk_cache,
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
 )
 
 __all__ = [
     "BenchmarkRun",
+    "DiskCache",
+    "SimJob",
     "run_benchmark",
+    "run_jobs",
+    "prefetch",
     "geomean",
+    "set_jobs",
+    "set_disk_cache",
     "DEFAULT_MEASURE",
     "DEFAULT_WARMUP",
 ]

@@ -4,7 +4,13 @@ Examples::
 
     fxa-experiments table1
     fxa-experiments figure7 --measure 4000 --benchmarks hmmer mcf lbm
-    fxa-experiments all
+    fxa-experiments all --jobs 8
+    fxa-experiments headline --jobs 4 --cache-dir /tmp/fxa-cache
+
+Simulations fan out over ``--jobs`` worker processes and finished runs
+persist in an on-disk cache (``--cache-dir``, default
+``~/.cache/fxa-repro``), so re-generating a figure after the first run
+costs no simulation at all.  ``--no-cache`` forces re-simulation.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ from repro.experiments import (
     figure7, figure8, figure9, figure10, figure11, figure12, figure13,
     headline, related_work, reno, sensitivity, tables,
 )
+from repro.experiments import runner
+from repro.experiments.diskcache import DiskCache
 from repro.workloads import ALL_BENCHMARKS
 
 _SIM_EXPERIMENTS = {
@@ -57,6 +65,14 @@ def _run_one(name: str, benchmarks: Optional[List[str]],
     return text, results
 
 
+def _json_default(obj):
+    """Serialize rich result objects through their dict codepath."""
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    return str(obj)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     names = ["table1", "table2", "figure7", "figure8", "figure9",
              "figure10", "figure11", "figure12", "figure13", "headline",
@@ -78,6 +94,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="Functional warm-up instructions (default 30000).",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="Worker processes simulations fan out over (default 1).",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="On-disk result cache directory "
+             "(default ~/.cache/fxa-repro).",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="Disable the on-disk result cache (always re-simulate).",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="Append a text chart to experiments that support one.",
     )
@@ -90,19 +119,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         unknown = set(args.benchmarks) - set(ALL_BENCHMARKS)
         if unknown:
             parser.error(f"unknown benchmarks: {sorted(unknown)}")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    runner.set_jobs(args.jobs)
+    previous_cache = runner.get_disk_cache()
+    if args.no_cache:
+        runner.set_disk_cache(None)
+    else:
+        runner.set_disk_cache(DiskCache(args.cache_dir))
     todo = names if args.experiment == "all" else [args.experiment]
     collected = {}
-    for name in todo:
-        started = time.time()
-        text, results = _run_one(name, args.benchmarks, args.measure,
-                                 args.warmup, chart=args.chart)
-        print(text)
-        print(f"[{name}: {time.time() - started:.1f}s]")
-        print()
-        collected[name] = results
+    try:
+        for name in todo:
+            started = time.time()
+            text, results = _run_one(name, args.benchmarks, args.measure,
+                                     args.warmup, chart=args.chart)
+            print(text)
+            print(f"[{name}: {time.time() - started:.1f}s]")
+            print()
+            collected[name] = results
+        cache = runner.get_disk_cache()
+        if cache is not None and (cache.hits or cache.stores):
+            print(f"[disk cache: {cache.hits} hits, "
+                  f"{cache.stores} new entries under {cache.root}]")
+    finally:
+        runner.set_disk_cache(previous_cache)
+        runner.set_jobs(1)
     if args.json_path:
         with open(args.json_path, "w") as stream:
-            json.dump(collected, stream, indent=2, sort_keys=True)
+            json.dump(collected, stream, indent=2, sort_keys=True,
+                      default=_json_default)
         print(f"raw results written to {args.json_path}")
     return 0
 

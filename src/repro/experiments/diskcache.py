@@ -1,0 +1,167 @@
+"""Persistent, content-addressed on-disk cache for simulation results.
+
+The in-process memo cache in :mod:`repro.experiments.runner` dies with
+the process, so every CLI invocation, pytest session and example script
+re-pays the full simulation cost.  This cache persists finished
+:class:`~repro.experiments.runner.BenchmarkRun` records as JSON files
+under ``~/.cache/fxa-repro/`` (or any ``--cache-dir``), keyed by a
+SHA-256 fingerprint of
+
+* the **complete** :class:`~repro.core.CoreConfig` (every field,
+  including the nested IXU / cluster / cache-hierarchy configs),
+* the benchmark name, measured/warm-up interval lengths and seed, and
+* a **code-version stamp** hashing every ``repro`` source file, so any
+  change to the simulator or workload generator invalidates old entries
+  automatically.
+
+Entries are written atomically (temp file + ``os.replace``) so parallel
+workers and concurrent CLI invocations never observe torn files; a
+corrupt or unreadable entry is treated as a miss and deleted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+#: Bump to invalidate every existing cache entry on a format change.
+CACHE_FORMAT = 1
+
+_code_version_cache: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/fxa-repro`` or ``~/.cache/fxa-repro``."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "fxa-repro"
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file (cached per process).
+
+    Any edit to the simulator, energy model or workload generator
+    changes this stamp and therefore every cache key.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        import repro
+
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).resolve().parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def fingerprint(config, benchmark: str, measure: int, warmup: int,
+                seed: int) -> str:
+    """Content address of one simulation: full config + run parameters.
+
+    Unlike the old hand-picked field list this derives from
+    ``dataclasses.asdict(config)``, so *every* config field — LSQ and
+    PRF capacities, predictor geometry, the cache hierarchy, ... —
+    participates in the key and two configs differing in any field can
+    never alias.
+    """
+    payload = {
+        "format": CACHE_FORMAT,
+        "code": code_version(),
+        "config": dataclasses.asdict(config),
+        "benchmark": benchmark,
+        "measure": measure,
+        "warmup": warmup,
+        "seed": seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class DiskCache:
+    """Content-addressed store of finished benchmark runs.
+
+    Args:
+        root: Cache directory (created on demand); defaults to
+            :func:`default_cache_dir`.
+    """
+
+    def __init__(self, root=None):
+        self.root = Path(root) if root else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, digest: str) -> Path:
+        # Two-level fan-out keeps directory listings small.
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def load(self, config, benchmark: str, measure: int, warmup: int,
+             seed: int):
+        """Return the cached :class:`BenchmarkRun` or None on a miss."""
+        from repro.experiments.runner import BenchmarkRun
+
+        path = self._path(
+            fingerprint(config, benchmark, measure, warmup, seed)
+        )
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+            run = BenchmarkRun.from_dict(payload["run"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Torn/corrupt entry: drop it and re-simulate.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return run
+
+    def store(self, config, benchmark: str, measure: int, warmup: int,
+              seed: int, run) -> None:
+        """Persist one finished run (atomic write; failures are soft)."""
+        digest = fingerprint(config, benchmark, measure, warmup, seed)
+        path = self._path(digest)
+        payload = {
+            "fingerprint": digest,
+            "model": run.model,
+            "benchmark": benchmark,
+            "run": run.to_dict(),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(tmp, path)
+        except OSError:
+            return  # a read-only cache dir must not break simulation
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

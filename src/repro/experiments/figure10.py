@@ -14,6 +14,7 @@ from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
     geomean,
+    prefetch,
     run_benchmark,
 )
 from repro.workloads import FP_BENCHMARKS, INT_BENCHMARKS
@@ -29,6 +30,9 @@ def run(
     benchmarks = list(benchmarks or (INT_BENCHMARKS + FP_BENCHMARKS))
     int_set = [b for b in benchmarks if b in INT_BENCHMARKS]
     fp_set = [b for b in benchmarks if b in FP_BENCHMARKS]
+    configs = [model_config("BIG")] + [model_config(m) for m in models]
+    prefetch([(c, b) for c in configs for b in benchmarks],
+             measure=measure, warmup=warmup)
     base = {
         bench: run_benchmark(model_config("BIG"), bench, measure, warmup)
         for bench in benchmarks

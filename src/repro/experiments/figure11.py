@@ -17,6 +17,7 @@ from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
     geomean,
+    prefetch,
     run_benchmark,
 )
 from repro.workloads import ALL_BENCHMARKS
@@ -49,6 +50,13 @@ def run(
     [3,3,3] with the full bypass network.
     """
     benchmarks = list(benchmarks or ALL_BENCHMARKS)
+    sweep = tuple(sweep)
+    configs = [_config((3, 3, 3), True)]
+    for stage_fus in sweep:
+        configs.append(_config(stage_fus, True))
+        configs.append(_config(stage_fus, False))
+    prefetch([(c, b) for c in configs for b in benchmarks],
+             measure=measure, warmup=warmup)
 
     def mean_ipc(config) -> float:
         return geomean([

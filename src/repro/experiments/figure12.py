@@ -16,6 +16,7 @@ from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
     geomean,
+    prefetch,
     run_benchmark,
 )
 from repro.workloads import FP_BENCHMARKS, INT_BENCHMARKS
@@ -41,6 +42,8 @@ def run(
     )
     int_set = [b for b in benchmarks if b in INT_BENCHMARKS]
     fp_set = [b for b in benchmarks if b in FP_BENCHMARKS]
+    prefetch([(depth_config(d), b) for d in depths for b in benchmarks],
+             measure=measure, warmup=warmup)
     results: Dict[str, Dict[int, float]] = {
         "INT": {}, "FP": {}, "ALL": {}
     }

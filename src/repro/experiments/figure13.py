@@ -14,6 +14,7 @@ from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
     geomean,
+    prefetch,
     run_benchmark,
 )
 from repro.workloads import FP_BENCHMARKS, INT_BENCHMARKS
@@ -32,6 +33,9 @@ def run(
     int_set = [b for b in benchmarks if b in INT_BENCHMARKS]
     fp_set = [b for b in benchmarks if b in FP_BENCHMARKS]
     big = model_config("BIG")
+    configs = [big] + [depth_config(d) for d in depths]
+    prefetch([(c, b) for c in configs for b in benchmarks],
+             measure=measure, warmup=warmup)
     base = {
         bench: run_benchmark(big, bench, measure, warmup).ipc
         for bench in benchmarks

@@ -15,6 +15,7 @@ from repro.energy import Component
 from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
+    prefetch,
     run_benchmark,
 )
 from repro.workloads import ALL_BENCHMARKS
@@ -35,6 +36,8 @@ def run(
     "ixu_static"}} relative to BIG's FUs+bypass total.
     """
     benchmarks = list(benchmarks or ALL_BENCHMARKS)
+    prefetch([(model_config(m), b) for m in models for b in benchmarks],
+             measure=measure, warmup=warmup)
     sums: Dict[str, Dict[Component, Dict[str, float]]] = {}
     for model in models:
         config = model_config(model)

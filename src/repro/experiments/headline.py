@@ -23,6 +23,7 @@ from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
     geomean,
+    prefetch,
     run_benchmark,
 )
 from repro.workloads import FP_BENCHMARKS, INT_BENCHMARKS
@@ -40,6 +41,8 @@ def run(
     int_set = [b for b in benchmarks if b in INT_BENCHMARKS]
     fp_set = [b for b in benchmarks if b in FP_BENCHMARKS]
     models = ("BIG", "HALF", "LITTLE", "HALF+FX", "BIG+FX")
+    prefetch([(model_config(m), b) for m in models for b in benchmarks],
+             measure=measure, warmup=warmup)
     runs = {
         model: {
             bench: run_benchmark(model_config(model), bench,

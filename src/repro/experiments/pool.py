@@ -1,0 +1,140 @@
+"""Parallel simulation driver: fan (config, benchmark) jobs over workers.
+
+Design-space evaluation is embarrassingly parallel across (model,
+benchmark) pairs — every figure in the reproduction is a static job list
+with no cross-job data flow.  :func:`run_jobs` maps such a list over a
+``multiprocessing`` pool:
+
+* **Deterministic**: each job re-derives its trace from (benchmark,
+  seed), so a job's result is a pure function of the job tuple; results
+  return in submission order and are bit-for-bit identical to a serial
+  run regardless of worker count or scheduling.
+* **Graceful fallback**: ``workers <= 1``, a single job, or a platform
+  without ``fork`` (no start method at all) degrades to a plain serial
+  loop in-process.
+* **Accounted**: every :class:`JobResult` carries the job's wall-clock
+  seconds and the worker pid; an optional per-job ``timeout`` aborts a
+  wedged sweep instead of hanging the whole figure.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core import CoreConfig
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation request: a pure function of these five fields."""
+
+    config: CoreConfig
+    benchmark: str
+    measure: int
+    warmup: int
+    seed: int = 0
+
+    def describe(self) -> str:
+        return (f"{self.config.name}/{self.benchmark}"
+                f"(measure={self.measure}, warmup={self.warmup},"
+                f" seed={self.seed})")
+
+
+@dataclass
+class JobResult:
+    """One finished job plus its execution accounting."""
+
+    job: SimJob
+    run: object                  # BenchmarkRun (import cycle avoided)
+    wall_seconds: float = 0.0
+    worker_pid: int = field(default_factory=os.getpid)
+
+
+class JobTimeoutError(RuntimeError):
+    """A simulation job exceeded the per-job timeout."""
+
+
+def _available_start_method() -> Optional[str]:
+    """Prefer fork (cheap, inherits warm imports); else spawn; else None."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return "fork"
+    if methods:
+        return methods[0]
+    return None
+
+
+def _execute_job(job: SimJob) -> JobResult:
+    """Worker body: simulate one job (no caching — the parent caches)."""
+    from repro.experiments.runner import simulate
+
+    started = time.perf_counter()
+    run = simulate(job.config, job.benchmark, job.measure, job.warmup,
+                   job.seed)
+    return JobResult(job=job, run=run,
+                     wall_seconds=time.perf_counter() - started)
+
+
+def _run_serial(jobs: Sequence[SimJob],
+                timeout: Optional[float]) -> List[JobResult]:
+    results = []
+    for job in jobs:
+        result = _execute_job(job)
+        if timeout is not None and result.wall_seconds > timeout:
+            raise JobTimeoutError(
+                f"{job.describe()} took {result.wall_seconds:.1f}s "
+                f"(> {timeout:.1f}s timeout)"
+            )
+        results.append(result)
+    return results
+
+
+def run_jobs(
+    jobs: Sequence[SimJob],
+    workers: int = 1,
+    timeout: Optional[float] = None,
+) -> List[JobResult]:
+    """Run every job; results in submission order.
+
+    Args:
+        jobs: Job list (order is preserved in the result list).
+        workers: Process count; ``<= 1`` runs serially in-process.
+        timeout: Per-job wall-clock limit in seconds.  In the parallel
+            path this bounds the wait for each job's result (jobs run
+            concurrently, so the bound is per-result, not cumulative);
+            on expiry the pool is torn down and
+            :class:`JobTimeoutError` raised.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    method = _available_start_method()
+    if workers <= 1 or len(jobs) == 1 or method is None:
+        return _run_serial(jobs, timeout)
+    context = multiprocessing.get_context(method)
+    workers = min(workers, len(jobs))
+    pool = context.Pool(processes=workers)
+    try:
+        handles = [pool.apply_async(_execute_job, (job,)) for job in jobs]
+        results: List[JobResult] = []
+        for job, handle in zip(jobs, handles):
+            try:
+                results.append(handle.get(timeout=timeout))
+            except multiprocessing.TimeoutError:
+                raise JobTimeoutError(
+                    f"{job.describe()} exceeded the "
+                    f"{timeout:.1f}s per-job timeout"
+                ) from None
+        return results
+    finally:
+        pool.terminate()
+        pool.join()
+
+
+def total_wall_seconds(results: Sequence[JobResult]) -> float:
+    """Summed per-job simulation time (CPU-side cost of a sweep)."""
+    return sum(r.wall_seconds for r in results)

@@ -24,6 +24,7 @@ from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
     geomean,
+    prefetch,
     run_benchmark,
 )
 from repro.workloads import ALL_BENCHMARKS
@@ -48,6 +49,8 @@ def run(
                                  name="CA-rr"),
         "HALF+FX": model_config("HALF+FX"),
     }
+    prefetch([(c, b) for c in configs.values() for b in benchmarks],
+             measure=measure, warmup=warmup)
     base_runs = {
         bench: run_benchmark(configs["BIG"], bench, measure, warmup)
         for bench in benchmarks

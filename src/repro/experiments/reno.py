@@ -16,6 +16,7 @@ from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
     geomean,
+    prefetch,
     run_benchmark,
 )
 from repro.workloads import ALL_BENCHMARKS
@@ -37,6 +38,8 @@ def run(
                                 name="HALF+FX+RENO",
                                 move_elimination=True),
     }
+    prefetch([(c, b) for c in corners.values() for b in benchmarks],
+             measure=measure, warmup=warmup)
     base = {
         bench: run_benchmark(corners["BIG"], bench, measure, warmup)
         for bench in benchmarks

@@ -3,12 +3,24 @@
 Mirrors the paper's methodology at Python scale: the paper skips 4 G
 instructions and measures 100 M; we functionally warm the predictor and
 caches on a prefix of the same instruction stream and measure a cycle-
-accurate interval after it.  Runs are memoised per process so that the
-figures sharing a (model, benchmark) pair do not re-simulate.
+accurate interval after it.
+
+Results are cached at two levels.  A per-process memo keeps the figures
+sharing a (model, benchmark) pair from re-simulating within one run; an
+optional persistent :class:`~repro.experiments.diskcache.DiskCache`
+(enabled by the CLI, see :func:`set_disk_cache`) survives the process so
+repeated invocations skip simulation entirely.  ``run_benchmark`` checks
+memory -> disk -> simulate.
+
+Experiment modules declare their whole job list up front via
+:func:`prefetch`, which fans uncached jobs over N worker processes
+(:func:`set_jobs` / the CLI ``--jobs`` flag) and seeds both caches, so
+the per-benchmark ``run_benchmark`` calls that follow are pure lookups.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Tuple
@@ -52,19 +64,82 @@ class BenchmarkRun:
         edp = self.energy.edp()
         return 1.0 / edp if edp else 0.0
 
+    def to_dict(self) -> Dict:
+        """Plain-dict form shared by the disk cache and CLI ``--json``."""
+        return {
+            "model": self.model,
+            "benchmark": self.benchmark,
+            "stats": self.stats.to_dict(),
+            "energy": self.energy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BenchmarkRun":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            model=data["model"],
+            benchmark=data["benchmark"],
+            stats=CoreStats.from_dict(data["stats"]),
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+        )
+
 
 _CACHE: Dict[Tuple, BenchmarkRun] = {}
+#: Persistent cache (None = disabled); see :func:`set_disk_cache`.
+_DISK_CACHE = None
+#: Worker processes :func:`prefetch` fans out over.
+_JOBS = 1
+#: Generated (warm, measure) trace pairs; every model simulating the
+#: same benchmark interval replays the identical immutable trace.
+_TRACE_MEMO: Dict[Tuple, Tuple[list, list]] = {}
 
 
 def _config_key(config: CoreConfig) -> Tuple:
-    ixu = config.ixu
-    ixu_key = None
-    if ixu is not None:
-        ixu_key = (ixu.stage_fus, ixu.bypass_stage_limit,
-                   ixu.execute_mem_ops, ixu.execute_branches)
-    return (config.name, config.core_type, config.issue_width,
-            config.iq_entries, config.rob_entries, config.fu_int,
-            config.fu_mem, config.fu_fp, config.fetch_width, ixu_key)
+    """Memo key covering the *complete* configuration.
+
+    Derived from every ``CoreConfig`` field (``dataclasses.astuple``
+    recurses into the IXU / cluster / hierarchy sub-configs), so two
+    configs differing in any parameter — LSQ or PRF capacity, predictor
+    geometry, cache sizes, ... — can never alias to one cached run.
+    """
+    return dataclasses.astuple(config)
+
+
+def simulate(
+    config: CoreConfig,
+    benchmark: str,
+    measure: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 0,
+) -> BenchmarkRun:
+    """Simulate one benchmark on one core model, bypassing all caches.
+
+    A pure function of its arguments (the trace is re-derived from the
+    benchmark profile and seed), which is what makes the result safe to
+    compute in a worker process or load back from disk.  Traces are
+    memoised per process: ``DynInst`` records are immutable and the
+    cores never mutate the trace list, so every model simulating the
+    same benchmark interval can replay one shared trace.
+    """
+    trace_key = (benchmark, measure, warmup, seed)
+    traces = _TRACE_MEMO.get(trace_key)
+    if traces is None:
+        generator = TraceGenerator(
+            build_program(get_profile(benchmark), seed=seed), seed=seed
+        )
+        traces = (generator.generate(warmup),
+                  renumber_trace(generator.generate(measure)))
+        if len(_TRACE_MEMO) >= 64:  # bound memory on long sweeps
+            _TRACE_MEMO.clear()
+        _TRACE_MEMO[trace_key] = traces
+    warm_trace, measure_trace = traces
+    core = build_core(config)
+    functional_warmup(core, warm_trace)
+    stats = core.run(measure_trace)
+    stats.benchmark = benchmark
+    energy = EnergyModel(config).evaluate(stats)
+    return BenchmarkRun(model=config.name, benchmark=benchmark,
+                        stats=stats, energy=energy)
 
 
 def run_benchmark(
@@ -75,37 +150,118 @@ def run_benchmark(
     seed: int = 0,
     use_cache: bool = True,
 ) -> BenchmarkRun:
-    """Simulate one benchmark on one core model (memoised)."""
+    """Simulate one benchmark on one core model (memory -> disk -> sim)."""
     key = (_config_key(config), benchmark, measure, warmup, seed)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    generator = TraceGenerator(
-        build_program(get_profile(benchmark), seed=seed), seed=seed
-    )
-    warm_trace = generator.generate(warmup)
-    measure_trace = renumber_trace(generator.generate(measure))
-    core = build_core(config)
-    functional_warmup(core, warm_trace)
-    stats = core.run(measure_trace)
-    stats.benchmark = benchmark
-    energy = EnergyModel(config).evaluate(stats)
-    run = BenchmarkRun(model=config.name, benchmark=benchmark,
-                       stats=stats, energy=energy)
+    if use_cache:
+        hit = _CACHE.get(key)
+        if hit is not None:
+            return hit
+        if _DISK_CACHE is not None:
+            run = _DISK_CACHE.load(config, benchmark, measure, warmup,
+                                   seed)
+            if run is not None:
+                _CACHE[key] = run
+                return run
+    run = simulate(config, benchmark, measure, warmup, seed)
     if use_cache:
         _CACHE[key] = run
+        if _DISK_CACHE is not None:
+            _DISK_CACHE.store(config, benchmark, measure, warmup, seed,
+                              run)
     return run
 
 
+def prefetch(
+    pairs: Iterable[Tuple[CoreConfig, str]],
+    measure: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 0,
+) -> int:
+    """Simulate every uncached (config, benchmark) pair via the pool.
+
+    Experiment modules call this with their complete job list before
+    reading any individual result: cached pairs (memory or disk) are
+    skipped, the misses fan out over :func:`set_jobs` workers, and both
+    caches are seeded so the ``run_benchmark`` calls that follow never
+    simulate.  Returns the number of jobs actually simulated.
+    """
+    from repro.experiments.pool import SimJob, run_jobs
+
+    todo: Dict[Tuple, SimJob] = {}
+    for config, benchmark in pairs:
+        key = (_config_key(config), benchmark, measure, warmup, seed)
+        if key in _CACHE or key in todo:
+            continue
+        if _DISK_CACHE is not None:
+            run = _DISK_CACHE.load(config, benchmark, measure, warmup,
+                                   seed)
+            if run is not None:
+                _CACHE[key] = run
+                continue
+        todo[key] = SimJob(config=config, benchmark=benchmark,
+                           measure=measure, warmup=warmup, seed=seed)
+    if not todo:
+        return 0
+    results = run_jobs(list(todo.values()), workers=_JOBS)
+    for key, result in zip(todo, results):
+        _CACHE[key] = result.run
+        if _DISK_CACHE is not None:
+            job = todo[key]
+            _DISK_CACHE.store(job.config, job.benchmark, job.measure,
+                              job.warmup, job.seed, result.run)
+    return len(results)
+
+
+def set_jobs(jobs: int) -> None:
+    """Set the worker-process count :func:`prefetch` fans out over."""
+    global _JOBS
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    _JOBS = jobs
+
+
+def get_jobs() -> int:
+    """Current worker-process count."""
+    return _JOBS
+
+
+def set_disk_cache(cache) -> None:
+    """Install (or with None remove) the persistent result cache."""
+    global _DISK_CACHE
+    _DISK_CACHE = cache
+
+
+def get_disk_cache():
+    """The installed :class:`DiskCache`, or None when disabled."""
+    return _DISK_CACHE
+
+
 def clear_cache() -> None:
-    """Drop all memoised runs (tests use this)."""
+    """Drop all memoised runs in this process (tests use this).
+
+    Only the in-memory memo is cleared; use ``DiskCache.clear()`` to
+    purge the persistent store.
+    """
     _CACHE.clear()
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean; the paper aggregates every figure this way."""
-    values = [v for v in values]
-    if not values:
+    """Geometric mean; the paper aggregates every figure this way.
+
+    Accepts any iterable, including one-pass generators.  Non-positive
+    entries have no geometric mean; the error names the offending value
+    and its position so a broken upstream metric is findable.
+    """
+    log_sum = 0.0
+    count = 0
+    for index, value in enumerate(values):
+        if value <= 0:
+            raise ValueError(
+                f"geomean requires positive values; entry {index} "
+                f"is {value!r}"
+            )
+        log_sum += math.log(value)
+        count += 1
+    if not count:
         return 0.0
-    if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    return math.exp(log_sum / count)

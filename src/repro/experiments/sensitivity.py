@@ -20,6 +20,7 @@ from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
     geomean,
+    prefetch,
     run_benchmark,
 )
 from repro.workloads import ALL_BENCHMARKS
@@ -56,6 +57,13 @@ def run(
     IXU).
     """
     benchmarks = list(benchmarks or ALL_BENCHMARKS)
+    sweep = tuple(sweep)
+    configs = [model_config("BIG")]
+    for entries, width in sweep:
+        configs.append(_config(entries, width, False))
+        configs.append(_config(entries, width, True))
+    prefetch([(c, b) for c in configs for b in benchmarks],
+             measure=measure, warmup=warmup)
     base_runs = {
         bench: run_benchmark(model_config("BIG"), bench, measure, warmup)
         for bench in benchmarks

@@ -22,7 +22,7 @@ from repro.isa.opclass import (
 from repro.isa.registers import Reg
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DynInst:
     """One dynamic instruction as it appears in a trace.
 
@@ -37,6 +37,9 @@ class DynInst:
         mem_size: Access size in bytes for loads/stores, else 0.
         taken: Branch outcome for control instructions, else False.
         target: Branch target address when taken, else None.
+        is_branch/is_mem/is_load/is_store: Op-class category flags,
+            precomputed at construction — the cores test them every
+            cycle for every in-flight instruction.
     """
 
     seq: int
@@ -48,34 +51,24 @@ class DynInst:
     mem_size: int = 0
     taken: bool = False
     target: Optional[int] = None
+    is_branch: bool = field(init=False, repr=False, compare=False)
+    is_mem: bool = field(init=False, repr=False, compare=False)
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if is_mem(self.op) and self.mem_addr is None:
+        mem = is_mem(self.op)
+        if mem and self.mem_addr is None:
             raise ValueError(f"{self.op} requires a memory address")
-        if not is_mem(self.op) and self.mem_addr is not None:
+        if not mem and self.mem_addr is not None:
             raise ValueError(f"{self.op} must not carry a memory address")
         if self.taken and self.target is None:
             raise ValueError("taken branch requires a target")
-
-    @property
-    def is_branch(self) -> bool:
-        """True for any control-transfer instruction."""
-        return is_branch(self.op)
-
-    @property
-    def is_mem(self) -> bool:
-        """True for loads and stores."""
-        return is_mem(self.op)
-
-    @property
-    def is_load(self) -> bool:
-        """True for loads (either register class)."""
-        return is_load(self.op)
-
-    @property
-    def is_store(self) -> bool:
-        """True for stores (either register class)."""
-        return is_store(self.op)
+        set_attr = object.__setattr__
+        set_attr(self, "is_branch", is_branch(self.op))
+        set_attr(self, "is_mem", mem)
+        set_attr(self, "is_load", is_load(self.op))
+        set_attr(self, "is_store", is_store(self.op))
 
     @property
     def fall_through(self) -> int:

@@ -32,6 +32,12 @@ class OpClass(enum.Enum):
     RET = "ret"              # return (pops RAS)
     NOP = "nop"              # no-op
 
+    # Identity hashing: enum members are singletons, so hashing the id is
+    # equivalent to hashing the (str) value but skips the delegated
+    # ``str.__hash__`` — these members key the simulator's hottest dict
+    # and frozenset lookups.
+    __hash__ = object.__hash__
+
 
 class FUType(enum.Enum):
     """Functional-unit pools; Table I gives per-model counts (int, mem, fp)."""
@@ -39,6 +45,8 @@ class FUType(enum.Enum):
     INT = "int"
     MEM = "mem"
     FP = "fp"
+
+    __hash__ = object.__hash__
 
 
 #: Execution latency in cycles once issued to a functional unit.  Loads add

@@ -24,6 +24,10 @@ class RegClass(enum.Enum):
     INT = "int"
     FP = "fp"
 
+    # Members are singletons; identity hash avoids delegating to
+    # ``str.__hash__`` in the renamer/PRF dict lookups.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class Reg:

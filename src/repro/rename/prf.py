@@ -36,19 +36,22 @@ class PhysicalRegisterFile:
         # instruction's result is bypassable one cycle after execution
         # but reaches the PRF only after it exits the IXU (paper
         # Section II-B), so the two differ by several cycles.
-        self._ready: List[int] = [ALWAYS_READY] * entries
+        # ``ready_cycles`` is public: the issue loop indexes it directly
+        # (one list access per source operand per select attempt).  The
+        # list is mutated in place and never rebound.
+        self.ready_cycles: List[int] = [ALWAYS_READY] * entries
         self._written: List[int] = [ALWAYS_READY] * entries
         self.reads = 0
         self.writes = 0
 
     def mark_pending(self, reg_id: int) -> None:
         """A new producer was renamed onto ``reg_id``; value not ready."""
-        self._ready[reg_id] = NEVER
+        self.ready_cycles[reg_id] = NEVER
         self._written[reg_id] = NEVER
 
     def mark_ready(self, reg_id: int, cycle: int) -> None:
         """The value is bypassable from ``cycle``; counts the PRF write."""
-        self._ready[reg_id] = cycle
+        self.ready_cycles[reg_id] = cycle
         self.writes += 1
 
     def mark_written(self, reg_id: int, cycle: int) -> None:
@@ -57,7 +60,7 @@ class PhysicalRegisterFile:
 
     def ready_cycle(self, reg_id: int) -> int:
         """Cycle at which the value is bypassable (wakeup view)."""
-        return self._ready[reg_id]
+        return self.ready_cycles[reg_id]
 
     def is_ready(self, reg_id: int, cycle: int) -> bool:
         """Scoreboard view: is the value *in the PRF* at ``cycle``?"""
@@ -70,5 +73,5 @@ class PhysicalRegisterFile:
 
     def reset_entry(self, reg_id: int) -> None:
         """Reclaim an entry on squash: it holds no pending value."""
-        self._ready[reg_id] = ALWAYS_READY
+        self.ready_cycles[reg_id] = ALWAYS_READY
         self._written[reg_id] = ALWAYS_READY

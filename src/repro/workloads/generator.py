@@ -211,9 +211,13 @@ def renumber_trace(trace: List[DynInst]) -> List[DynInst]:
     rewinds by sequence number); use this on the measurement portion when
     a warm-up prefix was drawn from the same generator.
     """
-    from dataclasses import replace
-
-    return [replace(inst, seq=i) for i, inst in enumerate(trace)]
+    return [
+        DynInst(seq=i, pc=inst.pc, op=inst.op, dest=inst.dest,
+                srcs=inst.srcs, mem_addr=inst.mem_addr,
+                mem_size=inst.mem_size, taken=inst.taken,
+                target=inst.target)
+        for i, inst in enumerate(trace)
+    ]
 
 
 def trace_mix(trace: List[DynInst]) -> Dict[str, float]:

@@ -1,0 +1,101 @@
+"""Tests for the parallel experiment pool (determinism, accounting)."""
+
+import pytest
+
+from repro.core import model_config
+from repro.experiments.pool import (
+    JobTimeoutError,
+    SimJob,
+    run_jobs,
+    total_wall_seconds,
+)
+from repro.experiments.runner import (
+    clear_cache,
+    prefetch,
+    run_benchmark,
+    set_jobs,
+)
+
+SMALL = dict(measure=600, warmup=1500)
+
+
+def _jobs():
+    return [
+        SimJob(config=model_config(model), benchmark=bench, **SMALL)
+        for model in ("BIG", "HALF+FX")
+        for bench in ("hmmer", "lbm")
+    ]
+
+
+class TestRunJobs:
+    def test_empty_job_list(self):
+        assert run_jobs([]) == []
+
+    def test_serial_results_in_submission_order(self):
+        jobs = _jobs()
+        results = run_jobs(jobs, workers=1)
+        assert [r.job for r in results] == jobs
+        for result in results:
+            assert result.run.model == result.job.config.name
+            assert result.run.benchmark == result.job.benchmark
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        jobs = _jobs()
+        serial = run_jobs(jobs, workers=1)
+        parallel = run_jobs(jobs, workers=4)
+        assert [r.job for r in parallel] == jobs
+        for s, p in zip(serial, parallel):
+            assert s.run.to_dict() == p.run.to_dict()
+
+    def test_wall_clock_accounting(self):
+        results = run_jobs(_jobs()[:2], workers=1)
+        for result in results:
+            assert result.wall_seconds > 0
+            assert result.worker_pid > 0
+        assert total_wall_seconds(results) == pytest.approx(
+            sum(r.wall_seconds for r in results)
+        )
+
+    def test_serial_timeout_raises(self):
+        with pytest.raises(JobTimeoutError):
+            run_jobs(_jobs()[:2], workers=1, timeout=0.0)
+
+    def test_parallel_timeout_raises(self):
+        jobs = [
+            SimJob(config=model_config("BIG"), benchmark="hmmer",
+                   measure=4000, warmup=12000),
+            SimJob(config=model_config("HALF+FX"), benchmark="lbm",
+                   measure=4000, warmup=12000),
+        ]
+        with pytest.raises(JobTimeoutError):
+            run_jobs(jobs, workers=2, timeout=1e-4)
+
+
+class TestPrefetchParallel:
+    def test_parallel_prefetch_matches_serial_runs(self):
+        pairs = [
+            (model_config(model), bench)
+            for model in ("BIG", "HALF+FX")
+            for bench in ("hmmer", "lbm")
+        ]
+        clear_cache()
+        serial = {
+            (c.name, b): run_benchmark(c, b, **SMALL).to_dict()
+            for c, b in pairs
+        }
+        clear_cache()
+        set_jobs(4)
+        try:
+            simulated = prefetch(pairs, **SMALL)
+        finally:
+            set_jobs(1)
+        assert simulated == len(pairs)
+        for config, bench in pairs:
+            run = run_benchmark(config, bench, **SMALL)
+            assert run.to_dict() == serial[(config.name, bench)]
+
+    def test_prefetch_skips_cached_pairs(self):
+        clear_cache()
+        pairs = [(model_config("BIG"), "hmmer")]
+        assert prefetch(pairs, **SMALL) == 1
+        assert prefetch(pairs, **SMALL) == 0
