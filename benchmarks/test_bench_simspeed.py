@@ -6,10 +6,13 @@ loops show up undiluted.  The measured simulated-instructions-per-second
 rate is attached to the pytest-benchmark record as ``extra_info``.
 """
 
+import time
+
 from conftest import MEASURE, WARMUP, run_once
 
 from repro.core import model_config
 from repro.experiments.runner import simulate
+from repro.obs import Observability
 
 #: The headline workload mix: every model family on an INT and an FP
 #: benchmark (hmmer exercises the IXU heavily, lbm the memory system).
@@ -17,12 +20,13 @@ SIMSPEED_MODELS = ("BIG", "HALF+FX", "LITTLE")
 SIMSPEED_BENCHMARKS = ("hmmer", "lbm")
 
 
-def _simulate_mix(measure, warmup):
+def _simulate_mix(measure, warmup, obs_factory=None):
     committed = 0
     for model in SIMSPEED_MODELS:
         config = model_config(model)
         for bench in SIMSPEED_BENCHMARKS:
-            run = simulate(config, bench, measure, warmup)
+            obs = obs_factory() if obs_factory is not None else None
+            run = simulate(config, bench, measure, warmup, obs=obs)
             committed += run.stats.committed
     return committed
 
@@ -39,3 +43,40 @@ def test_bench_simspeed(benchmark):
         benchmark.extra_info["simulated_insts_per_second"] = (
             committed / elapsed
         )
+
+
+def _time_mix(obs_factory, rounds=3):
+    """Best-of-N wall time of the simspeed mix (traces pre-memoised by
+    the caller, so only simulation is timed)."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        _simulate_mix(MEASURE, WARMUP, obs_factory)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_bench_obs_disabled_overhead(benchmark):
+    """Guard: observability must be free when off.
+
+    The per-cycle observability hook in every core is one ``is None``
+    test when no Observability bundle is attached.  This times the
+    simspeed mix without observability against the same mix with a
+    fully-enabled bundle (stall attribution + occupancy metrics) and
+    asserts the disabled path is at least as fast — within a 5 % timing
+    -noise allowance.  If disabled-mode simulation ever pays for
+    collection work (sampling, attribution, tracing) this trips.
+    """
+    _simulate_mix(MEASURE, WARMUP)  # warm the per-process trace memo
+    disabled = run_once(benchmark, _time_mix, None)
+    enabled = _time_mix(Observability)
+    overhead = disabled / enabled - 1.0
+    if benchmark.stats is not None:
+        benchmark.extra_info["disabled_seconds"] = disabled
+        benchmark.extra_info["enabled_seconds"] = enabled
+        benchmark.extra_info["disabled_vs_enabled_overhead"] = overhead
+    assert overhead < 0.05, (
+        f"disabled-observability run was {overhead:.1%} slower than a "
+        f"fully-observed run; the disabled path must do no collection "
+        f"work (expected < 5%)"
+    )

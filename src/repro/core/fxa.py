@@ -41,10 +41,10 @@ from repro.ixu.pipeline import BypassRegistry, StageFUUsage
 class FXACore(OutOfOrderCore):
     """Front-end execution architecture (BIG+FX / HALF+FX)."""
 
-    def __init__(self, config: CoreConfig):
+    def __init__(self, config: CoreConfig, obs=None):
         if config.ixu is None:
             raise ValueError("FXACore requires an IXU configuration")
-        super().__init__(config)
+        super().__init__(config, obs)
         ixu = config.ixu
         self.ixu_config = ixu
         self.ixu_bypass = BypassNetwork("ixu", ixu.total_fus)
@@ -57,6 +57,8 @@ class FXACore(OutOfOrderCore):
         self._exit_q: Deque[InFlight] = deque()
         self._ixu_exec_count = 0              # includes squashed replays
         self._ixu_mem_exec_count = 0
+        self._ixu_bypass_operand_hits = 0     # operands taken off the
+        #                                       IXU bypass network
 
     # ------------------------------------------------------------------
     # Rename plumbing: no IQ reservation; stall on front-end backlog.
@@ -105,6 +107,7 @@ class FXACore(OutOfOrderCore):
             for cls, preg in entry.renamed.srcs:
                 self.renamer.scoreboard[cls].is_ready(preg, self.cycle)
             self.iq.dispatch(entry)
+            entry.iq_cycle = self.cycle
             entry.issue_ready = self.cycle + self.config.dispatch_to_issue
             dispatched += 1
         if self._exit_q and self._exit_q[0].dispatch_cycle <= self.cycle:
@@ -150,6 +153,7 @@ class FXACore(OutOfOrderCore):
         entry.ixu_exec_cycle = cycle
         entry.ixu_exec_stage = pos
         entry.ixu_category = "a" if all(captured) else "b"
+        self._ixu_bypass_operand_hits += len(captured) - sum(captured)
         self._ixu_exec_count += 1
         if inst.is_mem:
             self._ixu_mem_exec_count += 1
@@ -226,15 +230,12 @@ class FXACore(OutOfOrderCore):
         return self.ixu_bypass if in_ixu else self.oxu_bypass
 
     def _squash_hook(self, boundary_seq: int) -> None:
-        for entry in self._regread_q:
-            if entry.seq > boundary_seq:
-                entry.squashed = True
-        for entry in self._ixu_pipe:
-            if entry.seq > boundary_seq:
-                entry.squashed = True
-        for entry in self._exit_q:
-            if entry.seq > boundary_seq:
-                entry.squashed = True
+        for queue in (self._regread_q, self._ixu_pipe, self._exit_q):
+            for entry in queue:
+                if entry.seq > boundary_seq:
+                    # Every front-end-pipe entry already holds a ROB slot,
+                    # so the ROB sweep flush-recorded it; just (re)mark.
+                    entry.squashed = True
         self._regread_q = deque(
             e for e in self._regread_q if not e.squashed
         )

@@ -29,8 +29,10 @@ class InFlight:
         "rename_ready",
         "rename_cycle",
         "dispatch_cycle",
+        "iq_cycle",
         "issue_ready",
         "issued",
+        "issue_cycle",
         "complete_cycle",
         "done",
         "squashed",
@@ -56,8 +58,10 @@ class InFlight:
         self.rename_ready = fetch_cycle
         self.rename_cycle = UNSCHEDULED
         self.dispatch_cycle = UNSCHEDULED
+        self.iq_cycle = UNSCHEDULED
         self.issue_ready = UNSCHEDULED
         self.issued = False
+        self.issue_cycle = UNSCHEDULED
         self.complete_cycle = UNSCHEDULED
         self.done = False
         self.squashed = False

@@ -41,7 +41,7 @@ _FP_ARITH = frozenset({OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV})
 class InOrderCore:
     """In-order superscalar (LITTLE of Table I)."""
 
-    def __init__(self, config: CoreConfig):
+    def __init__(self, config: CoreConfig, obs=None):
         if config.core_type != "inorder":
             raise ValueError("InOrderCore requires an 'inorder' config")
         self.config = config
@@ -76,6 +76,15 @@ class InOrderCore:
         self._last_issue_cycle = 0
         self._store_buffer: OrderedDict = OrderedDict()
         self._final_cycle = 0
+        # Observability (free when obs is None, see repro.obs).
+        self._obs = obs
+        self._pipeview = obs.pipeview if obs is not None else None
+        self._fetch_stall_kind = ""
+        # Registers whose pending value is produced by an in-flight
+        # load (distinguishes dcache stalls from ALU operand waits).
+        self._load_dest: Dict[Reg, bool] = {}
+        if obs is not None:
+            obs.attach(self)
 
     # ------------------------------------------------------------------
 
@@ -94,12 +103,18 @@ class InOrderCore:
                 )
         self.stats.cycles = max(self.cycle, self._final_cycle)
         self._collect_events()
+        if self._obs is not None:
+            self._obs.finalize(self)
         return self.stats
 
     def _tick(self) -> None:
         self._process_completions()
-        self._issue()
+        issued = self._issue()
         self._fetch()
+        if self._obs is not None:
+            # In-order issue is commitment: an issued instruction
+            # retires, so zero-issue cycles are the stall cycles.
+            self._obs.on_cycle(self, issued)
         self.cycle += 1
 
     # ------------------------------------------------------------------
@@ -131,6 +146,7 @@ class InOrderCore:
                 self._last_fetched_line = line
                 if not result.l1_hit:
                     self.fetch_resume_cycle = self.cycle + result.latency
+                    self._fetch_stall_kind = "icache"
                     break
             entry = InFlight(inst, fetch_cycle=self.cycle)
             entry.issue_ready = self.cycle + config.fetch_to_rename
@@ -146,6 +162,7 @@ class InOrderCore:
                         self.fetch_resume_cycle = (
                             self.cycle + config.decode_redirect_latency
                         )
+                        self._fetch_stall_kind = "redirect"
                     else:
                         entry.mispredicted = True
                         self.waiting_branch = entry
@@ -166,10 +183,10 @@ class InOrderCore:
     def _ready(self, reg: Reg, cycle: int) -> bool:
         return self._reg_ready.get(reg, 0) <= cycle
 
-    def _issue(self) -> None:
+    def _issue(self) -> int:
         issue_q = self.issue_q
         if not issue_q:
-            return
+            return 0
         issued = 0
         cycle = self.cycle
         width = self.config.issue_width
@@ -217,9 +234,11 @@ class InOrderCore:
             self._last_issue_cycle = cycle
             if inst.is_branch and entry.mispredicted:
                 break
+        return issued
 
     def _execute(self, entry: InFlight, cycle: int) -> None:
         inst = entry.inst
+        entry.issue_cycle = cycle
         if inst.is_load:
             if inst.mem_addr in self._store_buffer:
                 self.stats.forwarded_loads += 1
@@ -240,6 +259,7 @@ class InOrderCore:
         self._final_cycle = max(self._final_cycle, complete)
         if inst.dest is not None:
             self._reg_ready[inst.dest] = complete
+            self._load_dest[inst.dest] = inst.is_load
             self._rf_writes += 1
             self.bypass.broadcast()
         self._completion_counter += 1
@@ -262,9 +282,12 @@ class InOrderCore:
     # ------------------------------------------------------------------
 
     def _process_completions(self) -> None:
+        pipeview = self._pipeview
         while self._completions and self._completions[0][0] <= self.cycle:
             _, _, entry = heapq.heappop(self._completions)
             entry.done = True
+            if pipeview is not None:
+                pipeview.record(entry, self.cycle, flushed=False)
             if entry.inst.is_branch:
                 self.predictor.resolve(entry.inst, entry.prediction)
                 if entry.mispredicted:
@@ -280,6 +303,33 @@ class InOrderCore:
                 if self.waiting_branch is entry:
                     self.waiting_branch = None
                     self.fetch_resume_cycle = self.cycle + 1
+
+    # ------------------------------------------------------------------
+    # Stall attribution (read by repro.obs on zero-issue cycles)
+    # ------------------------------------------------------------------
+
+    def _stall_cause(self) -> str:
+        """Why did this cycle issue nothing?  One taxonomy cause."""
+        entry = self.issue_q[0] if self.issue_q else None
+        if entry is not None and entry.issue_ready <= self.cycle:
+            cycle = self.cycle
+            reg_ready = self._reg_ready
+            for src in entry.inst.srcs:
+                if reg_ready.get(src, 0) > cycle:
+                    if self._load_dest.get(src):
+                        return "dcache_miss"
+                    return "operand_wait"
+            dest = entry.inst.dest
+            if dest is not None and reg_ready.get(dest, 0) > cycle:
+                return "operand_wait"  # WAW on an in-flight writer
+            return "other"             # FU structural conflict
+        if self.waiting_branch is not None:
+            return "branch_recovery"
+        if self.cycle < self.fetch_resume_cycle:
+            if self._fetch_stall_kind == "icache":
+                return "icache_miss"
+            return "branch_recovery"
+        return "frontend_fill"
 
     # ------------------------------------------------------------------
 

@@ -56,9 +56,16 @@ class SimulationError(RuntimeError):
 
 
 class OutOfOrderCore:
-    """Conventional out-of-order superscalar (BIG/HALF of Table I)."""
+    """Conventional out-of-order superscalar (BIG/HALF of Table I).
 
-    def __init__(self, config: CoreConfig):
+    Args:
+        config: Table I parameters for this model.
+        obs: Optional :class:`~repro.obs.Observability` bundle; when
+            None (the default) the pipeline pays one ``is None`` test
+            per cycle and collects nothing.
+    """
+
+    def __init__(self, config: CoreConfig, obs=None):
         if config.core_type != "ooo":
             raise ValueError("OutOfOrderCore requires an 'ooo' config")
         self.config = config
@@ -101,6 +108,14 @@ class OutOfOrderCore:
         # PRF read-port usage per cycle (shared with the IXU in FXA;
         # the OXU issues first each cycle and therefore has priority).
         self._prf_port_use: Dict[int, int] = {}
+        # Observability (stall attribution state is kept even when obs
+        # is off: the stores sit on cold paths and cost nothing).
+        self._obs = obs
+        self._pipeview = obs.pipeview if obs is not None else None
+        self._stall_reason: Optional[str] = None
+        self._fetch_stall_kind = ""
+        if obs is not None:
+            obs.attach(self)
 
     # ------------------------------------------------------------------
     # Public API
@@ -128,6 +143,8 @@ class OutOfOrderCore:
                 )
         self.stats.cycles = self.cycle
         self._collect_events()
+        if self._obs is not None:
+            self._obs.finalize(self)
         return self.stats
 
     # ------------------------------------------------------------------
@@ -136,12 +153,14 @@ class OutOfOrderCore:
 
     def _tick(self) -> None:
         self._process_completions()
-        self._commit()
+        committed = self._commit()
         self._issue()
         self._dispatch()
         self._rename()
         self._fetch()
         self.iq.sample_occupancy()
+        if self._obs is not None:
+            self._obs.on_cycle(self, committed)
         self.cycle += 1
 
     # ------------------------------------------------------------------
@@ -176,6 +195,7 @@ class OutOfOrderCore:
                 if not result.l1_hit:
                     # Refill in flight: resume once the line arrives.
                     self.fetch_resume_cycle = cycle + result.latency
+                    self._fetch_stall_kind = "icache"
                     break
             entry = InFlight(inst, fetch_cycle=cycle)
             entry.rename_ready = cycle + rename_lat
@@ -193,6 +213,7 @@ class OutOfOrderCore:
                         self.fetch_resume_cycle = (
                             cycle + config.decode_redirect_latency
                         )
+                        self._fetch_stall_kind = "redirect"
                     else:
                         entry.mispredicted = True
                         self.waiting_branch = entry
@@ -213,6 +234,7 @@ class OutOfOrderCore:
 
     def _rename(self) -> None:
         config = self.config
+        self._stall_reason = None
         renamed = 0
         while self.rename_q and renamed < config.rename_width:
             entry = self.rename_q[0]
@@ -261,19 +283,32 @@ class OutOfOrderCore:
         )
 
     def _rename_resources_ready(self, entry: InFlight) -> bool:
-        """Check every resource rename must secure for ``entry``."""
+        """Check every resource rename must secure for ``entry``.
+
+        A failed check records which structure blocked rename this
+        cycle (``_stall_reason``); the stall attributor charges the
+        cycle to it when nothing commits.
+        """
         inst = entry.inst
         if self._is_eliminable(inst):
-            return not self.rob.full  # needs no register, IQ or LSQ slot
+            if self.rob.full:  # needs no register, IQ or LSQ slot
+                self._stall_reason = "rob_full"
+                return False
+            return True
         if not self.renamer.can_rename(inst):
+            self._stall_reason = "prf_full"
             return False
         if self.rob.full:
+            self._stall_reason = "rob_full"
             return False
         if inst.is_load and not self.lsq.loads_free:
+            self._stall_reason = "lsq_full"
             return False
         if inst.is_store and not self.lsq.stores_free:
+            self._stall_reason = "lsq_full"
             return False
         if not self._iq_slot_available(entry):
+            self._stall_reason = "iq_full"
             return False
         return True
 
@@ -303,6 +338,7 @@ class OutOfOrderCore:
                 continue
             self._iq_reserved -= 1
             self.iq.dispatch(entry)
+            entry.iq_cycle = self.cycle
             entry.issue_ready = self.cycle + config.dispatch_to_issue
             dispatched += 1
 
@@ -376,6 +412,7 @@ class OutOfOrderCore:
     def _execute(self, entry: InFlight, cycle: int, in_ixu: bool) -> None:
         """Begin execution at ``cycle``; schedules the completion."""
         inst = entry.inst
+        entry.issue_cycle = cycle
         if not in_ixu and entry.renamed is not None:
             # Register-read stage after issue (counts PRF read ports).
             srcs = entry.renamed.srcs
@@ -500,17 +537,24 @@ class OutOfOrderCore:
         """Squash every instruction younger than ``boundary_seq`` and
         rewind the trace cursor to refetch them."""
         removed = self.rob.squash_younger_than(boundary_seq)
+        pipeview = self._pipeview
         for entry in removed:  # youngest first
             entry.squashed = True
             self.stats.squashed += 1
             if entry.inst.is_store:
                 self.store_sets.store_squashed(entry.inst.pc, entry)
             self.renamer.squash(entry.renamed)
+            if pipeview is not None:
+                pipeview.record(entry, self.cycle, flushed=True)
         self.iq.squash_younger_than(boundary_seq)
         self.lsq.squash_younger_than(boundary_seq)
         for queue in (self.rename_q, self.dispatch_q):
             for entry in queue:
                 if entry.seq > boundary_seq:
+                    # Renamed entries were already flush-recorded by the
+                    # ROB sweep above; only pre-rename ones are new here.
+                    if pipeview is not None and not entry.squashed:
+                        pipeview.record(entry, self.cycle, flushed=True)
                     entry.squashed = True
         self.rename_q = deque(
             e for e in self.rename_q if not e.squashed
@@ -533,6 +577,41 @@ class OutOfOrderCore:
     def _squash_hook(self, boundary_seq: int) -> None:
         """Hook for subclasses (FXA clears the IXU pipe)."""
 
+    # ------------------------------------------------------------------
+    # Stall attribution (read by repro.obs on zero-commit cycles)
+    # ------------------------------------------------------------------
+
+    def _stall_cause(self) -> str:
+        """Why did this cycle commit nothing?  One taxonomy cause.
+
+        Priority order: a rename stall on a full backend structure wins
+        (window pressure is the actionable signal), then the ROB head's
+        execution state, then front-end conditions.
+        """
+        reason = self._stall_reason
+        if reason is not None:
+            return reason
+        head = self.rob.head()
+        if head is not None:
+            if not head.done:
+                if head.mispredicted:
+                    return "branch_recovery"
+                if head.issued:
+                    if head.inst.is_load:
+                        return "dcache_miss"
+                    return "operand_wait"
+                if head.issue_ready < 0:
+                    return "frontend_fill"  # still in dispatch transit
+                return "operand_wait"
+            return "other"  # done, but writeback/commit-timing limited
+        if self.waiting_branch is not None:
+            return "branch_recovery"
+        if self.cycle < self.fetch_resume_cycle:
+            if self._fetch_stall_kind == "icache":
+                return "icache_miss"
+            return "branch_recovery"
+        return "frontend_fill"
+
     def _on_commit(self, entry: InFlight) -> None:
         """Hook for subclasses (FXA records IXU-execution statistics)."""
 
@@ -540,10 +619,11 @@ class OutOfOrderCore:
     # Commit
     # ------------------------------------------------------------------
 
-    def _commit(self) -> None:
+    def _commit(self) -> int:
         rob = self.rob
         cycle = self.cycle
         stats = self.stats
+        pipeview = self._pipeview
         committed = 0
         width = self.config.commit_width
         while committed < width:
@@ -567,9 +647,12 @@ class OutOfOrderCore:
                 stats.committed_fp += 1
             self.renamer.commit(head.renamed)
             self._on_commit(head)
+            if pipeview is not None:
+                pipeview.record(head, cycle, flushed=False)
             stats.committed += 1
             committed += 1
             self._last_commit_cycle = cycle
+        return committed
 
     # ------------------------------------------------------------------
     # Event collection for the energy model

@@ -122,13 +122,17 @@ def model_config(name: str) -> CoreConfig:
         raise KeyError(f"unknown model {name!r}; known: {known}") from None
 
 
-def build_core(spec: Union[str, CoreConfig]):
-    """Instantiate the right core class for a model name or config."""
+def build_core(spec: Union[str, CoreConfig], obs=None):
+    """Instantiate the right core class for a model name or config.
+
+    ``obs`` is an optional :class:`repro.obs.Observability` bundle; the
+    returned core collects metrics/stalls/pipeline traces into it.
+    """
     config = model_config(spec) if isinstance(spec, str) else spec
     if config.core_type == "inorder":
-        return InOrderCore(config)
+        return InOrderCore(config, obs)
     if config.has_ixu:
-        return FXACore(config)
+        return FXACore(config, obs)
     if config.clusters is not None:
-        return ClusteredCore(config)
-    return OutOfOrderCore(config)
+        return ClusteredCore(config, obs)
+    return OutOfOrderCore(config, obs)

@@ -105,6 +105,11 @@ class CoreStats:
     committed_branches: int = 0
     # Backend occupancy.
     iq_mean_occupancy: float = 0.0
+    # Observability extras (populated only when the run was observed by
+    # a repro.obs.Observability bundle; empty dicts otherwise so the
+    # record's shape — and its JSON round trip — never varies).
+    stalls: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, Dict] = field(default_factory=dict)
     events: EventCounts = field(default_factory=EventCounts)
 
     @property
@@ -127,6 +132,16 @@ class CoreStats:
         if not self.branches:
             return 0.0
         return self.mispredictions / self.branches
+
+    @property
+    def stall_cycles(self) -> int:
+        """Total attributed stall cycles (0 unless the run was observed).
+
+        By construction every zero-commit cycle is charged to exactly
+        one cause, so this always equals the number of cycles in which
+        nothing committed.
+        """
+        return sum(self.stalls.values())
 
     def to_dict(self) -> Dict:
         """Plain-dict form (JSON-serializable).

@@ -11,6 +11,17 @@ Simulations fan out over ``--jobs`` worker processes and finished runs
 persist in an on-disk cache (``--cache-dir``, default
 ``~/.cache/fxa-repro``), so re-generating a figure after the first run
 costs no simulation at all.  ``--no-cache`` forces re-simulation.
+
+Observability (see :mod:`repro.obs`)::
+
+    fxa-experiments headline --stall-report --benchmarks hmmer mcf
+    fxa-experiments headline --pipeview trace.kanata --pipeview-window 500
+    fxa-experiments headline --json out.json   # + out.manifest.json
+
+``--stall-report`` appends a where-did-the-cycles-go breakdown per
+model, ``--pipeview`` writes a Kanata pipeline trace loadable by the
+Konata visualiser, and every ``--json`` run also emits a provenance
+manifest (``--manifest PATH`` writes one explicitly).
 """
 
 from __future__ import annotations
@@ -19,15 +30,31 @@ import argparse
 import json
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+import repro
+from repro.core import MODEL_NAMES, model_config
 from repro.experiments import (
     figure7, figure8, figure9, figure10, figure11, figure12, figure13,
     headline, related_work, reno, sensitivity, tables,
 )
 from repro.experiments import runner
-from repro.experiments.diskcache import DiskCache
+from repro.experiments.diskcache import DiskCache, code_version
+from repro.experiments.pool import total_wall_seconds
+from repro.obs import (
+    JobRecord,
+    KanataWriter,
+    Observability,
+    RunManifest,
+    format_stall_chart,
+    format_stall_table,
+    manifest_path_for,
+)
 from repro.workloads import ALL_BENCHMARKS
+
+#: Models the observability passes simulate ("CA" included: the
+#: related-work comparator stalls differently than the Table I models).
+_OBS_MODELS = MODEL_NAMES + ("CA",)
 
 _SIM_EXPERIMENTS = {
     "figure7": figure7,
@@ -63,6 +90,67 @@ def _run_one(name: str, benchmarks: Optional[List[str]],
     if chart and hasattr(module, "format_chart"):
         text += "\n\n" + module.format_chart(results)
     return text, results
+
+
+def _stall_report(benchmarks: Optional[List[str]], measure: int,
+                  warmup: int) -> str:
+    """Simulate every model with stall attribution on and render the
+    "where did the cycles go" table plus a stacked chart.
+
+    Observed runs bypass both caches (the cached records were produced
+    without attribution), so this re-simulates; prefer a ``--benchmarks``
+    subset for interactive use.
+    """
+    reports: Dict[str, Dict[str, int]] = {}
+    cycles: Dict[str, int] = {}
+    for model in _OBS_MODELS:
+        config = model_config(model)
+        counts: Dict[str, int] = {}
+        total = 0
+        for benchmark in benchmarks or ALL_BENCHMARKS:
+            obs = Observability(metrics=False)
+            run = runner.simulate(config, benchmark, measure, warmup,
+                                  obs=obs)
+            for cause, value in run.stats.stalls.items():
+                counts[cause] = counts.get(cause, 0) + value
+            total += run.stats.cycles
+        reports[model] = counts
+        cycles[model] = total
+    suite = ", ".join(benchmarks) if benchmarks else "all benchmarks"
+    return (
+        format_stall_table(
+            reports, cycles,
+            title=f"Stall-cause breakdown ({suite})")
+        + "\n\n"
+        + format_stall_chart(reports, title="Stall cycles by cause")
+    )
+
+
+def _write_pipeview(args) -> str:
+    """Run one observed simulation and write its Kanata trace."""
+    benchmark = args.pipeview_benchmark or (
+        args.benchmarks[0] if args.benchmarks else "hmmer"
+    )
+    writer = KanataWriter(args.pipeview, window=args.pipeview_window)
+    obs = Observability(metrics=False, stalls=False, pipeview=writer)
+    runner.simulate(model_config(args.pipeview_model), benchmark,
+                    args.measure, args.warmup, obs=obs)
+    writer.close()
+    return (f"pipeline trace: {writer.recorded} instructions of "
+            f"{args.pipeview_model}/{benchmark} written to "
+            f"{args.pipeview} (open with Konata)")
+
+
+def _print_job_summary(job_records, count: int = 5) -> None:
+    """Slowest-jobs accounting for everything actually simulated."""
+    total = total_wall_seconds(job_records)
+    print(f"[{len(job_records)} jobs simulated, {total:.1f}s of "
+          f"simulation; slowest:]")
+    slowest = sorted(job_records, key=lambda r: r.wall_seconds,
+                     reverse=True)
+    for record in slowest[:count]:
+        print(f"  {record.wall_seconds:7.2f}s  pid {record.worker_pid}"
+              f"  {record.job.describe()}")
 
 
 def _json_default(obj):
@@ -112,7 +200,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--json", dest="json_path", default=None,
-        help="Also dump raw results for all experiments to this file.",
+        help="Also dump raw results for all experiments to this file "
+             "(a run manifest lands next to it as *.manifest.json).",
+    )
+    parser.add_argument(
+        "--stall-report", action="store_true",
+        help="Append a per-model stall-cause breakdown (where did the "
+             "cycles go); re-simulates with attribution enabled.",
+    )
+    parser.add_argument(
+        "--pipeview", metavar="PATH", default=None,
+        help="Write a Kanata pipeline trace (Konata-loadable) of one "
+             "observed simulation to PATH.",
+    )
+    parser.add_argument(
+        "--pipeview-window", type=int, default=2000, metavar="N",
+        help="Record at most N instructions in the pipeline trace "
+             "(default 2000).",
+    )
+    parser.add_argument(
+        "--pipeview-model", default="HALF+FX", choices=list(_OBS_MODELS),
+        help="Model the pipeline trace simulates (default HALF+FX).",
+    )
+    parser.add_argument(
+        "--pipeview-benchmark", default=None,
+        help="Benchmark for the pipeline trace (default: first "
+             "--benchmarks entry, else hmmer).",
+    )
+    parser.add_argument(
+        "--manifest", dest="manifest_path", default=None, metavar="PATH",
+        help="Write the run manifest (provenance JSON) to PATH.",
     )
     args = parser.parse_args(argv)
     if args.benchmarks:
@@ -121,6 +238,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"unknown benchmarks: {sorted(unknown)}")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if (args.pipeview_benchmark
+            and args.pipeview_benchmark not in ALL_BENCHMARKS):
+        parser.error(
+            f"unknown --pipeview-benchmark: {args.pipeview_benchmark}")
+    if args.pipeview_window < 1:
+        parser.error("--pipeview-window must be >= 1")
+    started_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    started_clock = time.time()
+    runner.pop_job_records()  # drain stale accounting (tests, REPLs)
     runner.set_jobs(args.jobs)
     previous_cache = runner.get_disk_cache()
     if args.no_cache:
@@ -138,7 +264,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[{name}: {time.time() - started:.1f}s]")
             print()
             collected[name] = results
+        if args.stall_report:
+            print(_stall_report(args.benchmarks, args.measure,
+                                args.warmup))
+            print()
+        pipeview_note = None
+        if args.pipeview:
+            pipeview_note = _write_pipeview(args)
+            print(pipeview_note)
+        job_records = runner.pop_job_records()
+        if job_records:
+            _print_job_summary(job_records)
         cache = runner.get_disk_cache()
+        cache_counts = cache.counters() if cache is not None else {}
         if cache is not None and (cache.hits or cache.stores):
             print(f"[disk cache: {cache.hits} hits, "
                   f"{cache.stores} new entries under {cache.root}]")
@@ -150,6 +288,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(collected, stream, indent=2, sort_keys=True,
                       default=_json_default)
         print(f"raw results written to {args.json_path}")
+    manifest_paths = []
+    if args.manifest_path:
+        manifest_paths.append(args.manifest_path)
+    if args.json_path:
+        manifest_paths.append(manifest_path_for(args.json_path))
+    if manifest_paths:
+        outputs = {}
+        if args.json_path:
+            outputs["json"] = args.json_path
+        if args.pipeview:
+            outputs["pipeview"] = args.pipeview
+        manifest = RunManifest(
+            command=list(sys.argv[1:] if argv is None else argv),
+            experiments=todo,
+            benchmarks=args.benchmarks,
+            measure=args.measure,
+            warmup=args.warmup,
+            seed=0,
+            code_version=code_version(),
+            repro_version=repro.__version__,
+            started_at=started_at,
+            finished_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            wall_seconds=time.time() - started_clock,
+            workers=args.jobs,
+            jobs_simulated=len(job_records),
+            job_records=[
+                JobRecord(job=r.job.describe(),
+                          wall_seconds=r.wall_seconds,
+                          worker_pid=r.worker_pid)
+                for r in job_records
+            ],
+            cache=cache_counts,
+            outputs=outputs,
+        )
+        for path in manifest_paths:
+            manifest.write(path)
+            print(f"run manifest written to {path}")
     return 0
 
 

@@ -148,6 +148,24 @@ class DiskCache:
             return  # a read-only cache dir must not break simulation
         self.stores += 1
 
+    def counters(self) -> dict:
+        """This invocation's accounting as a plain dict.
+
+        Returned (not just printed) so callers — the CLI's cache
+        summary, run manifests, ``--json`` consumers — can record the
+        hit/miss/store counts programmatically.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "root": str(self.root),
+        }
+
+    def reset_counters(self) -> None:
+        """Zero the per-invocation counters (the entries stay)."""
+        self.hits = self.misses = self.stores = 0
+
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0

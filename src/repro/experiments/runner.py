@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.core import CoreConfig, CoreStats, build_core
 from repro.core.warmup import functional_warmup
@@ -92,6 +93,10 @@ _JOBS = 1
 #: Generated (warm, measure) trace pairs; every model simulating the
 #: same benchmark interval replays the identical immutable trace.
 _TRACE_MEMO: Dict[Tuple, Tuple[list, list]] = {}
+#: Accounting for every job actually simulated by this process (pool
+#: fan-outs and cache-miss ``run_benchmark`` calls alike); drained by
+#: :func:`pop_job_records` for the CLI's manifest and slowest-jobs view.
+_JOB_RECORDS: List = []
 
 
 def _config_key(config: CoreConfig) -> Tuple:
@@ -111,6 +116,7 @@ def simulate(
     measure: int = DEFAULT_MEASURE,
     warmup: int = DEFAULT_WARMUP,
     seed: int = 0,
+    obs=None,
 ) -> BenchmarkRun:
     """Simulate one benchmark on one core model, bypassing all caches.
 
@@ -120,6 +126,11 @@ def simulate(
     memoised per process: ``DynInst`` records are immutable and the
     cores never mutate the trace list, so every model simulating the
     same benchmark interval can replay one shared trace.
+
+    ``obs`` optionally attaches a :class:`repro.obs.Observability`
+    bundle to the simulated core (stall attribution, occupancy metrics,
+    pipeline traces); observed runs are never cached, so the caching
+    entry points don't take it.
     """
     trace_key = (benchmark, measure, warmup, seed)
     traces = _TRACE_MEMO.get(trace_key)
@@ -133,7 +144,7 @@ def simulate(
             _TRACE_MEMO.clear()
         _TRACE_MEMO[trace_key] = traces
     warm_trace, measure_trace = traces
-    core = build_core(config)
+    core = build_core(config, obs=obs)
     functional_warmup(core, warm_trace)
     stats = core.run(measure_trace)
     stats.benchmark = benchmark
@@ -162,7 +173,15 @@ def run_benchmark(
             if run is not None:
                 _CACHE[key] = run
                 return run
+    from repro.experiments.pool import JobResult, SimJob
+
+    started = time.perf_counter()
     run = simulate(config, benchmark, measure, warmup, seed)
+    _JOB_RECORDS.append(JobResult(
+        job=SimJob(config=config, benchmark=benchmark, measure=measure,
+                   warmup=warmup, seed=seed),
+        run=run, wall_seconds=time.perf_counter() - started,
+    ))
     if use_cache:
         _CACHE[key] = run
         if _DISK_CACHE is not None:
@@ -203,6 +222,7 @@ def prefetch(
     if not todo:
         return 0
     results = run_jobs(list(todo.values()), workers=_JOBS)
+    _JOB_RECORDS.extend(results)
     for key, result in zip(todo, results):
         _CACHE[key] = result.run
         if _DISK_CACHE is not None:
@@ -210,6 +230,19 @@ def prefetch(
             _DISK_CACHE.store(job.config, job.benchmark, job.measure,
                               job.warmup, job.seed, result.run)
     return len(results)
+
+
+def pop_job_records() -> List:
+    """Drain the accumulated :class:`~repro.experiments.pool.JobResult`
+    accounting (every job this process simulated since the last drain).
+
+    The CLI calls this once per invocation to build the run manifest
+    and the slowest-jobs summary; tests use it to assert what actually
+    simulated versus came from a cache.
+    """
+    records = list(_JOB_RECORDS)
+    _JOB_RECORDS.clear()
+    return records
 
 
 def set_jobs(jobs: int) -> None:

@@ -72,6 +72,56 @@ def grouped_chart(
     return "\n".join(lines).rstrip()
 
 
+#: Segment fills for stacked bars, in legend order.
+_STACK_FILLS = "█▓▒░▞▚▙▜▟▛"
+
+
+def stacked_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 50,
+    fmt: str = "{:.0f}",
+) -> str:
+    """Stacked horizontal bars: ``{bar label: {segment: value}}``.
+
+    Each bar is partitioned proportionally among its segments (all bars
+    share one scale, so lengths compare across bars); a legend line maps
+    fill characters to segment names.  Used by the ``--stall-report``
+    stall-cause view, where each bar is a model and each segment a
+    stall cause.
+    """
+    if not groups:
+        return title
+    segments: list = []
+    for values in groups.values():
+        for key in values:
+            if key not in segments:
+                segments.append(key)
+    fills = {
+        segment: _STACK_FILLS[index % len(_STACK_FILLS)]
+        for index, segment in enumerate(segments)
+    }
+    totals = {
+        label: sum(values.values()) for label, values in groups.items()
+    }
+    scale = max(totals.values())
+    label_width = max(len(label) for label in groups)
+    lines = [title] if title else []
+    lines.append("  ".join(f"{fills[s]} {s}" for s in segments))
+    for label, values in groups.items():
+        bar = ""
+        cumulative = 0.0
+        for segment in segments:
+            value = values.get(segment, 0)
+            if not value or scale <= 0:
+                continue
+            cumulative += value / scale * width
+            bar += fills[segment] * max(0, round(cumulative) - len(bar))
+        lines.append(f"{label:<{label_width}}  {bar:<{width}}  "
+                     + fmt.format(totals[label]))
+    return "\n".join(lines)
+
+
 def series_chart(
     series: Mapping[str, Mapping[int, float]],
     title: str = "",

@@ -1,0 +1,194 @@
+"""Pipeline observability: metrics, stall attribution, traces, manifests.
+
+The simulator's default answer to "how did this run go" is the
+end-of-run aggregate in :class:`~repro.core.stats.CoreStats`.  This
+package adds the *why* behind those aggregates, at three granularities:
+
+* :mod:`repro.obs.metrics` — a registry of counters and per-cycle
+  occupancy histograms (IQ/ROB/LSQ fill, IXU execute vs. NOP
+  passthrough, bypass hits);
+* :mod:`repro.obs.stall` — per-cycle attribution of zero-commit cycles
+  to a fixed cause taxonomy (where did the cycles go);
+* :mod:`repro.obs.pipeview` — per-instruction pipeline-stage traces in
+  the Kanata format the Konata visualiser loads;
+* :mod:`repro.obs.manifest` — a provenance JSON for whole harness
+  invocations (config, code hash, host, pool accounting, cache counts).
+
+Everything is **off by default and free when off**: a core built without
+an :class:`Observability` object pays one ``is None`` test per cycle and
+nothing else, keeping the hot-loop throughput and the simulated results
+bit-identical to an uninstrumented build.  Enable it per run::
+
+    from repro import build_core, generate_trace
+    from repro.obs import Observability
+
+    obs = Observability()
+    core = build_core("HALF+FX", obs=obs)
+    stats = core.run(generate_trace("hmmer", 10_000))
+    print(stats.stalls)                    # cause -> cycles
+    print(stats.metrics["histograms"])     # occupancy distributions
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.manifest import (
+    JobRecord,
+    RunManifest,
+    host_info,
+    manifest_path_for,
+)
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    occupancy_bounds,
+)
+from repro.obs.pipeview import KanataWriter
+from repro.obs.stall import (
+    STALL_CAUSES,
+    StallCollector,
+    format_stall_chart,
+    format_stall_table,
+)
+
+
+class Observability:
+    """Per-run bundle of enabled collectors, attached to one core.
+
+    Args:
+        metrics: Collect counters and per-cycle occupancy histograms.
+        stalls: Attribute every zero-commit cycle to a stall cause.
+        pipeview: A :class:`KanataWriter` to stream per-instruction
+            pipeline stages into (None = no trace).
+
+    One instance observes one core for one run; the core calls
+    :meth:`attach` when built and :meth:`finalize` when its ``run``
+    completes, which copies the collected data onto ``core.stats``.
+    """
+
+    def __init__(self, metrics: bool = True, stalls: bool = True,
+                 pipeview: Optional[KanataWriter] = None):
+        self.metrics = MetricsRegistry() if metrics else None
+        self.stalls = StallCollector() if stalls else None
+        self.pipeview = pipeview
+        self.commit_cycles = 0
+        self._attached = False
+        self._iq_hist = None
+        self._rob_hist = None
+        self._lq_hist = None
+        self._sq_hist = None
+        self._fq_hist = None
+
+    # ------------------------------------------------------------------
+
+    def attach(self, core) -> None:
+        """Bind occupancy histograms to ``core``'s structures."""
+        if self._attached:
+            raise RuntimeError(
+                "an Observability instance observes exactly one core run; "
+                "build a fresh one per simulation"
+            )
+        self._attached = True
+        metrics = self.metrics
+        if metrics is None:
+            return
+        iq = getattr(core, "iq", None)
+        if iq is not None:
+            self._iq_hist = metrics.histogram(
+                "occupancy.iq", occupancy_bounds(iq.capacity))
+            self._rob_hist = metrics.histogram(
+                "occupancy.rob", occupancy_bounds(core.rob.capacity))
+            self._lq_hist = metrics.histogram(
+                "occupancy.lq", occupancy_bounds(core.lsq.load_capacity))
+            self._sq_hist = metrics.histogram(
+                "occupancy.sq", occupancy_bounds(core.lsq.store_capacity))
+        else:
+            self._fq_hist = metrics.histogram(
+                "occupancy.frontend_queue",
+                occupancy_bounds(core.config.frontend_queue_depth))
+
+    def on_cycle(self, core, committed: int) -> None:
+        """Per-cycle sampling hook (the cores call this once per tick)."""
+        if committed:
+            self.commit_cycles += 1
+        elif self.stalls is not None:
+            self.stalls.charge(core._stall_cause())
+        if self.metrics is not None:
+            iq_hist = self._iq_hist
+            if iq_hist is not None:
+                iq_hist.observe(len(core.iq))
+                self._rob_hist.observe(len(core.rob))
+                lsq = core.lsq
+                self._lq_hist.observe(
+                    lsq.load_capacity - lsq.loads_free)
+                self._sq_hist.observe(
+                    lsq.store_capacity - lsq.stores_free)
+            else:
+                self._fq_hist.observe(len(core.issue_q))
+
+    def finalize(self, core) -> None:
+        """Harvest per-core counters and publish onto ``core.stats``."""
+        stats = core.stats
+        if self.stalls is not None:
+            # The in-order core's reported cycle count extends past its
+            # last tick to drain in-flight completions; charge that tail
+            # so causes always sum to cycles - commit_cycles.
+            drain = stats.cycles - self.commit_cycles - self.stalls.total
+            if drain > 0:
+                self.stalls.charge("other", drain)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("cycles.total").add(stats.cycles)
+            metrics.counter("cycles.commit").add(self.commit_cycles)
+            if self.stalls is not None:
+                metrics.counter("cycles.stall").add(self.stalls.total)
+            ixu_exec = getattr(core, "_ixu_exec_count", None)
+            if ixu_exec is not None:
+                # NOP passthroughs are exactly the IQ dispatches: every
+                # instruction the IXU could not execute flows through it
+                # and enters the issue queue.
+                metrics.counter("ixu.executed").add(ixu_exec)
+                metrics.counter("ixu.nop_passthrough").add(
+                    core.iq.dispatches)
+                metrics.counter("ixu.bypass_operand_hits").add(
+                    core._ixu_bypass_operand_hits)
+                metrics.counter("bypass.ixu_broadcasts").add(
+                    core.ixu_bypass.broadcasts)
+            oxu = getattr(core, "oxu_bypass", None) or getattr(
+                core, "bypass", None)
+            if oxu is not None:
+                metrics.counter("bypass.oxu_broadcasts").add(
+                    oxu.broadcasts)
+            per_cluster = getattr(core, "issued_per_cluster", None)
+            if per_cluster is not None:
+                for index, issued in enumerate(per_cluster):
+                    metrics.counter(f"cluster.{index}.issued").add(issued)
+                metrics.counter("cluster.forwards").add(
+                    core.intercluster_forwards)
+            stats.metrics = metrics.to_dict()
+        if self.stalls is not None:
+            stats.stalls = self.stalls.to_dict()
+
+
+__all__ = [
+    "Observability",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "occupancy_bounds",
+    "StallCollector",
+    "STALL_CAUSES",
+    "format_stall_chart",
+    "format_stall_table",
+    "KanataWriter",
+    "JobRecord",
+    "RunManifest",
+    "host_info",
+    "manifest_path_for",
+]

@@ -1,0 +1,112 @@
+"""Run manifests: a JSON record of how a set of results was produced.
+
+A figure or table is only as trustworthy as the provenance of the runs
+behind it.  The manifest captures, for one CLI/runner invocation:
+
+* the full command line and experiment list,
+* the simulation parameters (benchmarks, measure/warmup interval, seed),
+* the exact code version (the same source hash the disk cache keys on),
+* the host (machine, platform, Python) and wall-clock envelope,
+* the worker-pool shape, per-job wall times and worker pids, and
+* the disk-cache hit/miss/store counters for the invocation.
+
+``fxa-experiments ... --json out.json`` writes ``out.manifest.json``
+next to the results; ``--manifest PATH`` emits one explicitly.  The
+record round-trips through ``to_dict``/``from_dict`` like every other
+result object in the repo.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Optional
+
+
+def host_info() -> Dict[str, str]:
+    """The machine fingerprint recorded in every manifest."""
+    return {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+    }
+
+
+@dataclass
+class JobRecord:
+    """Per-job pool accounting (mirrors pool.JobResult, minus the run)."""
+
+    job: str                    # SimJob.describe()
+    wall_seconds: float = 0.0
+    worker_pid: int = 0
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobRecord":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one experiment-harness invocation."""
+
+    command: List[str] = field(default_factory=list)
+    experiments: List[str] = field(default_factory=list)
+    benchmarks: Optional[List[str]] = None      # None = full suite
+    measure: int = 0
+    warmup: int = 0
+    seed: int = 0
+    code_version: str = ""
+    repro_version: str = ""
+    host: Dict[str, str] = field(default_factory=host_info)
+    started_at: str = ""
+    finished_at: str = ""
+    wall_seconds: float = 0.0
+    workers: int = 1
+    jobs_simulated: int = 0
+    job_records: List[JobRecord] = field(default_factory=list)
+    cache: Dict[str, object] = field(default_factory=dict)
+    outputs: Dict[str, str] = field(default_factory=dict)
+
+    def slowest_jobs(self, count: int = 5) -> List[JobRecord]:
+        """The ``count`` slowest simulated jobs, slowest first."""
+        ordered = sorted(self.job_records,
+                         key=lambda r: r.wall_seconds, reverse=True)
+        return ordered[:count]
+
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["job_records"] = [r.to_dict() for r in self.job_records]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunManifest":
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["job_records"] = [
+            JobRecord.from_dict(r) for r in data.get("job_records", [])
+        ]
+        return cls(**kwargs)
+
+    def write(self, path) -> None:
+        """Serialise to ``path`` as indented, key-sorted JSON."""
+        with open(path, "w") as stream:
+            json.dump(self.to_dict(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+    @classmethod
+    def read(cls, path) -> "RunManifest":
+        with open(path) as stream:
+            return cls.from_dict(json.load(stream))
+
+
+def manifest_path_for(json_path: str) -> str:
+    """Default manifest location next to a ``--json`` output file."""
+    if json_path.endswith(".json"):
+        return json_path[: -len(".json")] + ".manifest.json"
+    return json_path + ".manifest.json"

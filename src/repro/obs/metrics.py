@@ -1,0 +1,220 @@
+"""Metrics registry: named counters and bucketed histograms.
+
+The observability layer records two kinds of measurements:
+
+* **Counters** — monotonic event totals (IXU executes vs. NOP
+  passthroughs, bypass-operand hits, stall/commit cycle counts).
+* **Histograms** — per-cycle samples bucketed against fixed boundaries
+  (IQ/ROB/LSQ occupancy), cheap enough to take every simulated cycle.
+
+Everything here is disabled-by-default and zero-cost when off: the cores
+only touch the registry behind a single ``is None`` guard per cycle, and
+library users who want unconditional instrumentation sites can hold the
+:data:`NULL_METRICS` registry, whose counters and histograms are shared
+no-op singletons.
+
+The registry serialises to a plain JSON-safe dict (``to_dict``), which is
+how it rides inside :class:`~repro.core.stats.CoreStats` through the disk
+cache and the CLI ``--json`` output.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """A bucketed histogram with fixed upper-bound boundaries.
+
+    ``bounds`` are inclusive upper edges; a sample lands in the first
+    bucket whose bound is >= the sample, with one overflow bucket past
+    the last bound (``counts`` has ``len(bounds) + 1`` cells).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "samples")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = list(bounds)
+        if ordered != sorted(set(ordered)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.bounds: List[float] = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.total = 0.0
+        self.samples = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.samples += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict) -> "Histogram":
+        hist = cls(name, data["bounds"])
+        hist.counts = list(data["counts"])
+        hist.total = data.get("total", 0.0)
+        hist.samples = data.get("samples", 0)
+        return hist
+
+    def __repr__(self) -> str:
+        return (f"<Histogram {self.name} samples={self.samples} "
+                f"mean={self.mean:.2f}>")
+
+
+class _NullCounter:
+    """Shared do-nothing counter (the disabled registry hands it out)."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+
+    def add(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    """Shared do-nothing histogram."""
+
+    __slots__ = ()
+    name = "<null>"
+    bounds: List[float] = []
+    counts: List[int] = []
+    total = 0.0
+    samples = 0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Create-on-demand store of named counters and histograms."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            if bounds is None:
+                raise KeyError(
+                    f"histogram {name!r} does not exist and no bounds "
+                    f"were given to create it"
+                )
+            hist = self._histograms[name] = Histogram(name, bounds)
+        return hist
+
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dump: ``{"counters": {...}, "histograms": {...}}``."""
+        return {
+            "counters": self.counters(),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MetricsRegistry":
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry._counters[name] = Counter(name, value)
+        for name, payload in data.get("histograms", {}).items():
+            registry._histograms[name] = Histogram.from_dict(name, payload)
+        return registry
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every lookup returns a shared no-op object.
+
+    Instrumentation sites that cannot afford a branch can hold this and
+    call ``counter(...).add()`` unconditionally; nothing is recorded.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def counters(self) -> Dict[str, int]:
+        return {}
+
+    def histograms(self) -> Dict:
+        return {}
+
+    def to_dict(self) -> Dict:
+        return {"counters": {}, "histograms": {}}
+
+
+#: The registry handed out when observability is off.
+NULL_METRICS = NullMetricsRegistry()
+
+
+def occupancy_bounds(capacity: int, buckets: int = 8) -> List[int]:
+    """Evenly-spaced occupancy bucket bounds for a structure of
+    ``capacity`` entries (last bound = capacity, so the overflow bucket
+    stays empty and the distribution is exhaustive)."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    buckets = min(buckets, capacity)
+    bounds = sorted({
+        max(1, (capacity * i) // buckets) for i in range(1, buckets + 1)
+    })
+    if bounds[-1] != capacity:
+        bounds.append(capacity)
+    return bounds

@@ -1,0 +1,95 @@
+"""Integration tests for the CLI observability flags."""
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.cli import main
+from repro.obs import RunManifest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """Each test exercises real simulation/disk-cache behaviour, not
+    hits on the process-global in-memory memo left by earlier tests."""
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+def run_cli(tmp_path, *extra):
+    args = ["headline", "--benchmarks", "hmmer",
+            "--measure", "400", "--warmup", "1500",
+            "--cache-dir", str(tmp_path / "cache")]
+    args.extend(extra)
+    return main(args)
+
+
+class TestManifest:
+    def test_json_emits_manifest_next_to_it(self, tmp_path, capsys):
+        json_path = tmp_path / "out.json"
+        assert run_cli(tmp_path, "--json", str(json_path)) == 0
+        manifest = RunManifest.read(tmp_path / "out.manifest.json")
+        assert manifest.experiments == ["headline"]
+        assert manifest.benchmarks == ["hmmer"]
+        assert manifest.measure == 400
+        assert manifest.code_version
+        assert manifest.wall_seconds > 0
+        assert manifest.outputs["json"] == str(json_path)
+        # A cold cache means every job really simulated...
+        assert manifest.jobs_simulated == len(manifest.job_records) > 0
+        assert all(r.wall_seconds > 0 and r.worker_pid > 0
+                   for r in manifest.job_records)
+        assert manifest.cache["stores"] == manifest.jobs_simulated
+        # ...and the slowest-jobs summary was printed.
+        out = capsys.readouterr().out
+        assert "jobs simulated" in out and "slowest" in out
+
+    def test_explicit_manifest_path_and_warm_cache(self, tmp_path,
+                                                   capsys):
+        run_cli(tmp_path)
+        capsys.readouterr()
+        runner.clear_cache()  # force the second pass onto the disk cache
+        path = tmp_path / "provenance.json"
+        assert run_cli(tmp_path, "--manifest", str(path)) == 0
+        manifest = RunManifest.read(path)
+        assert manifest.jobs_simulated == 0      # everything cached
+        assert manifest.job_records == []
+        assert manifest.cache["hits"] > 0
+
+
+class TestStallReport:
+    def test_stall_report_renders_table_and_chart(self, tmp_path,
+                                                  capsys):
+        assert run_cli(tmp_path, "--stall-report") == 0
+        out = capsys.readouterr().out
+        assert "Stall-cause breakdown (hmmer)" in out
+        assert "Stall cycles by cause" in out
+        for model in ("BIG", "HALF+FX", "LITTLE", "CA"):
+            assert model in out
+
+
+class TestPipeview:
+    def test_pipeview_writes_kanata_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "pipe.kanata"
+        assert run_cli(tmp_path, "--pipeview", str(trace_path),
+                       "--pipeview-window", "40") == 0
+        lines = trace_path.read_text().splitlines()
+        assert lines[0] == "Kanata\t0004"
+        assert sum(1 for l in lines if l.startswith("R\t")) == 40
+        out = capsys.readouterr().out
+        assert "pipeline trace" in out and "Konata" in out
+
+    def test_pipeview_benchmark_validation(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(tmp_path, "--pipeview", str(tmp_path / "x.kanata"),
+                    "--pipeview-benchmark", "nonexistent")
+
+
+class TestJsonStillWorks:
+    def test_json_payload_unchanged_shape(self, tmp_path, capsys):
+        json_path = tmp_path / "o.json"
+        run_cli(tmp_path, "--json", str(json_path))
+        data = json.loads(json_path.read_text())
+        assert "headline" in data

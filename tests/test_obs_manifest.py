@@ -1,0 +1,75 @@
+"""Tests for run manifests (provenance records)."""
+
+import json
+
+from repro.obs import (
+    JobRecord,
+    RunManifest,
+    host_info,
+    manifest_path_for,
+)
+
+
+def sample_manifest():
+    return RunManifest(
+        command=["headline", "--jobs", "2"],
+        experiments=["headline"],
+        benchmarks=["hmmer", "lbm"],
+        measure=500,
+        warmup=2000,
+        code_version="abc123",
+        repro_version="1.0.0",
+        started_at="2026-01-01T00:00:00+0000",
+        finished_at="2026-01-01T00:01:00+0000",
+        wall_seconds=60.0,
+        workers=2,
+        jobs_simulated=3,
+        job_records=[
+            JobRecord(job="BIG/hmmer", wall_seconds=2.0, worker_pid=11),
+            JobRecord(job="BIG/lbm", wall_seconds=5.0, worker_pid=12),
+            JobRecord(job="LITTLE/lbm", wall_seconds=1.0, worker_pid=11),
+        ],
+        cache={"hits": 1, "misses": 3, "stores": 3, "root": "/tmp/c"},
+        outputs={"json": "out.json"},
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        manifest = sample_manifest()
+        back = RunManifest.from_dict(manifest.to_dict())
+        assert back == manifest
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "run.manifest.json"
+        manifest = sample_manifest()
+        manifest.write(path)
+        assert RunManifest.read(path) == manifest
+        # The on-disk form is plain, indented, key-sorted JSON.
+        data = json.loads(path.read_text())
+        assert data["cache"]["hits"] == 1
+        assert data["job_records"][1]["wall_seconds"] == 5.0
+
+    def test_unknown_keys_are_ignored(self):
+        data = sample_manifest().to_dict()
+        data["added_in_a_future_version"] = True
+        assert RunManifest.from_dict(data) == sample_manifest()
+
+
+class TestAccounting:
+    def test_slowest_jobs_orders_by_wall_time(self):
+        slowest = sample_manifest().slowest_jobs(2)
+        assert [r.job for r in slowest] == ["BIG/lbm", "BIG/hmmer"]
+
+    def test_host_info_shape(self):
+        info = host_info()
+        assert set(info) == {"hostname", "platform", "python"}
+
+
+class TestPathHelper:
+    def test_json_suffix_is_replaced(self):
+        assert (manifest_path_for("results/out.json")
+                == "results/out.manifest.json")
+
+    def test_other_suffixes_are_appended(self):
+        assert manifest_path_for("out.dat") == "out.dat.manifest.json"

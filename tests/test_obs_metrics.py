@@ -1,0 +1,95 @@
+"""Tests for the observability metrics registry."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    occupancy_bounds,
+)
+
+
+class TestCounter:
+    def test_add_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        counter.add(3)
+        counter.add()
+        assert counter.value == 4
+
+    def test_counter_is_memoised_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestHistogram:
+    def test_bucket_edges(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("occ", bounds=(2, 4))
+        for value in (0, 2, 3, 4, 5, 100):
+            hist.observe(value)
+        # bisect_left: bucket i counts values in (bounds[i-1], bounds[i]].
+        assert hist.counts == [2, 2, 2]
+        assert hist.total == 114
+        assert hist.samples == 6
+
+    def test_mean(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("occ", bounds=(8,))
+        hist.observe(2)
+        hist.observe(4)
+        assert hist.mean == 3.0
+
+    def test_bounds_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", bounds=(4, 4))
+
+    def test_missing_histogram_without_bounds_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError):
+            registry.histogram("absent")
+
+
+class TestRoundTrip:
+    def test_registry_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(7)
+        hist = registry.histogram("h", bounds=(1, 2))
+        hist.observe(1)
+        hist.observe(9)
+        data = registry.to_dict()
+        back = MetricsRegistry.from_dict(data)
+        assert back.to_dict() == data
+        assert back.counter("c").value == 7
+        assert back.histogram("h").counts == [1, 0, 1]
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        registry.histogram("h", bounds=(4,)).observe(2)
+        assert json.loads(json.dumps(registry.to_dict())) == (
+            registry.to_dict()
+        )
+
+
+class TestNullRegistry:
+    def test_null_is_free_and_silent(self):
+        assert isinstance(NULL_METRICS, NullMetricsRegistry)
+        NULL_METRICS.counter("anything").add(5)
+        NULL_METRICS.histogram("h", bounds=(1,)).observe(3)
+        assert NULL_METRICS.to_dict() == {"counters": {},
+                                          "histograms": {}}
+
+
+class TestOccupancyBounds:
+    def test_ends_at_capacity(self):
+        bounds = occupancy_bounds(32)
+        assert bounds[-1] == 32
+        assert list(bounds) == sorted(set(bounds))
+
+    def test_small_capacity(self):
+        assert occupancy_bounds(2) == [1, 2]

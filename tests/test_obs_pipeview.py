@@ -1,0 +1,92 @@
+"""Tests for the Kanata pipeline-trace writer (Konata format)."""
+
+import pytest
+
+from repro import build_core, generate_trace
+from repro.obs import KanataWriter, Observability
+
+
+def write_trace(tmp_path, model="HALF+FX", insts=600, window=None):
+    path = tmp_path / "trace.kanata"
+    writer = KanataWriter(str(path), window=window)
+    obs = Observability(metrics=False, stalls=False, pipeview=writer)
+    build_core(model, obs=obs).run(generate_trace("hmmer", insts))
+    writer.close()
+    return path.read_text().splitlines()
+
+
+class TestFormat:
+    def test_header_and_cycle_commands(self, tmp_path):
+        lines = write_trace(tmp_path)
+        assert lines[0] == "Kanata\t0004"
+        assert lines[1].startswith("C=\t")
+        # After the origin, time only advances via relative C commands.
+        deltas = [line for line in lines[2:] if line.startswith("C")]
+        assert deltas
+        assert all(int(line.split("\t")[1]) > 0 for line in deltas)
+        assert not any(line.startswith("C=") for line in lines[2:])
+
+    def test_every_instruction_is_complete(self, tmp_path):
+        """Each file id is introduced (I), staged (S...E) and retired
+        (R) — the shape Konata requires to lay out a lane."""
+        lines = write_trace(tmp_path)
+        introduced, staged, ended, retired = set(), set(), set(), set()
+        for line in lines[1:]:
+            parts = line.split("\t")
+            if parts[0] == "I":
+                introduced.add(parts[1])
+            elif parts[0] == "S":
+                assert parts[1] in introduced  # I precedes S
+                staged.add(parts[1])
+            elif parts[0] == "E":
+                ended.add(parts[1])
+            elif parts[0] == "R":
+                assert parts[1] in staged
+                retired.add(parts[1])
+                assert parts[3] in ("0", "1")
+        assert introduced == staged == ended == retired
+        assert len(introduced) > 0
+
+    def test_stage_sequence_per_instruction(self, tmp_path):
+        """Stages appear in pipeline order and every S is closed by an
+        E before the next stage starts (events are cycle-sorted)."""
+        lines = write_trace(tmp_path)
+        open_stage = {}
+        sequences = {}
+        for line in lines[1:]:
+            parts = line.split("\t")
+            if parts[0] == "S":
+                assert open_stage.get(parts[1]) is None
+                open_stage[parts[1]] = parts[3]
+                sequences.setdefault(parts[1], []).append(parts[3])
+            elif parts[0] == "E":
+                assert open_stage.pop(parts[1]) == parts[3]
+        assert not open_stage
+        for stages in sequences.values():
+            assert stages[0] == "F"
+            assert stages[-1] in ("Cm", "X", "Ex", "Iq", "Rn", "F")
+            assert len(stages) == len(set(stages))
+
+    def test_ixu_instructions_use_x_stage(self, tmp_path):
+        text = "\n".join(write_trace(tmp_path))
+        assert "\tX" in text       # FXA traces show IXU execution
+        assert "IXU(stage" in text  # and the label carries the detail
+
+
+class TestWindow:
+    def test_window_caps_recorded_instructions(self, tmp_path):
+        lines = write_trace(tmp_path, window=50)
+        retires = [line for line in lines if line.startswith("R\t")]
+        assert len(retires) == 50
+
+    def test_window_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            KanataWriter(str(tmp_path / "x"), window=0)
+
+
+class TestModels:
+    @pytest.mark.parametrize("model", ["BIG", "LITTLE", "CA"])
+    def test_other_models_produce_valid_traces(self, tmp_path, model):
+        lines = write_trace(tmp_path, model=model, insts=300)
+        assert lines[0] == "Kanata\t0004"
+        assert any(line.startswith("R\t") for line in lines)

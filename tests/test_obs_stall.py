@@ -1,0 +1,126 @@
+"""Tests for stall-cause attribution: the sum invariant and rendering."""
+
+import pytest
+
+from repro import build_core, generate_trace
+from repro.obs import (
+    Observability,
+    STALL_CAUSES,
+    StallCollector,
+    format_stall_chart,
+    format_stall_table,
+)
+
+MODELS = ("BIG", "HALF", "HALF+FX", "LITTLE", "CA")
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace("hmmer", 2500)
+
+
+class TestCollector:
+    def test_unknown_cause_falls_back_to_other(self):
+        collector = StallCollector()
+        collector.charge("not_a_cause")
+        assert collector.counts["other"] == 1
+
+    def test_charge_multiple_cycles(self):
+        collector = StallCollector()
+        collector.charge("iq_full", 4)
+        assert collector.total == 4
+
+    def test_to_dict_keeps_zero_causes(self):
+        assert set(StallCollector().to_dict()) == set(STALL_CAUSES)
+
+
+class TestSumInvariant:
+    """Every zero-commit cycle is charged to exactly one cause, so the
+    causes sum to the total stall cycles and, with commit cycles, to the
+    simulated cycle count (the tentpole's structural invariant)."""
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_causes_sum_to_stall_cycles(self, model, trace):
+        obs = Observability()
+        stats = build_core(model, obs=obs).run(list(trace))
+        assert stats.stalls
+        assert all(cause in STALL_CAUSES for cause in stats.stalls)
+        commit_cycles = stats.metrics["counters"]["cycles.commit"]
+        assert stats.stall_cycles + commit_cycles == stats.cycles
+        assert (stats.metrics["counters"]["cycles.stall"]
+                == stats.stall_cycles)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_observation_does_not_change_results(self, model, trace):
+        observed = build_core(model, obs=Observability()).run(list(trace))
+        plain = build_core(model).run(list(trace))
+        assert plain.stalls == {} and plain.metrics == {}
+        observed_dict = observed.to_dict()
+        plain_dict = plain.to_dict()
+        for field in ("stalls", "metrics"):
+            observed_dict.pop(field)
+            plain_dict.pop(field)
+        assert observed_dict == plain_dict
+
+    def test_occupancy_histograms_cover_every_cycle(self, trace):
+        obs = Observability()
+        stats = build_core("BIG", obs=obs).run(list(trace))
+        for name in ("occupancy.iq", "occupancy.rob",
+                     "occupancy.lq", "occupancy.sq"):
+            hist = stats.metrics["histograms"][name]
+            assert sum(hist["counts"]) == stats.cycles
+            # last bound == capacity: the overflow bucket stays empty.
+            assert hist["counts"][-1] == 0
+
+
+class TestStatsRoundTrip:
+    def test_stalls_and_metrics_survive_dict_round_trip(self, trace):
+        from repro.core import CoreStats
+
+        obs = Observability()
+        stats = build_core("HALF+FX", obs=obs).run(list(trace))
+        data = stats.to_dict()
+        back = CoreStats.from_dict(data)
+        assert back.stalls == stats.stalls
+        assert back.metrics == stats.metrics
+        assert back.stall_cycles == stats.stall_cycles
+        assert back.to_dict() == data
+
+    def test_json_round_trip(self, trace):
+        import json
+
+        from repro.core import CoreStats
+
+        stats = build_core("BIG", obs=Observability()).run(list(trace))
+        data = json.loads(json.dumps(stats.to_dict()))
+        back = CoreStats.from_dict(data)
+        assert back.stalls == stats.stalls
+        assert back.metrics == stats.metrics
+
+
+class TestRendering:
+    REPORTS = {
+        "BIG": {"iq_full": 10, "dcache_miss": 30},
+        "LITTLE": {"operand_wait": 25},
+    }
+    CYCLES = {"BIG": 100, "LITTLE": 50}
+
+    def test_table_shows_only_nonzero_causes(self):
+        text = format_stall_table(self.REPORTS, self.CYCLES)
+        assert "iq_full" in text and "dcache_miss" in text
+        assert "rob_full" not in text
+        assert "40.0%" in text   # BIG: 40 of 100 cycles stalled
+        assert "50.0%" in text   # LITTLE
+
+    def test_chart_has_legend_and_bars(self):
+        text = format_stall_chart(self.REPORTS, title="stalls")
+        assert text.startswith("stalls")
+        assert "iq_full" in text and "operand_wait" in text
+
+
+class TestAttachment:
+    def test_one_observability_per_core(self):
+        obs = Observability()
+        build_core("BIG", obs=obs)
+        with pytest.raises(RuntimeError):
+            build_core("BIG", obs=obs)
