@@ -10,9 +10,11 @@ import time
 
 from conftest import MEASURE, WARMUP, run_once
 
-from repro.core import model_config
+from repro.core import build_core, model_config
 from repro.experiments.runner import simulate
 from repro.obs import Observability
+from repro.validate import GoldenOracle, Validator
+from repro.workloads import generate_trace
 
 #: The headline workload mix: every model family on an INT and an FP
 #: benchmark (hmmer exercises the IXU heavily, lbm the memory system).
@@ -79,4 +81,49 @@ def test_bench_obs_disabled_overhead(benchmark):
         f"disabled-observability run was {overhead:.1%} slower than a "
         f"fully-observed run; the disabled path must do no collection "
         f"work (expected < 5%)"
+    )
+
+
+def test_bench_validate_disabled_overhead(benchmark):
+    """Guard: differential validation must be free when off.
+
+    Like observability, the validator hooks in every core are one
+    ``is None`` test per site when no Validator is attached.  This
+    times the simspeed models without a validator against the same
+    runs under full differential + invariant checking and asserts the
+    disabled path is at least as fast — within the same 5 % timing
+    -noise allowance as the observability guard.
+    """
+    trace = generate_trace("hmmer", MEASURE)
+    reference = GoldenOracle().run(trace)
+
+    def run_mix(validated):
+        committed = 0
+        for model in SIMSPEED_MODELS:
+            validator = (Validator(trace, reference=reference)
+                         if validated else None)
+            core = build_core(model_config(model), validator=validator)
+            committed += core.run(list(trace)).committed
+        return committed
+
+    def time_mix(validated, rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            run_mix(validated)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    run_mix(False)  # warm up caches and allocator
+    disabled = run_once(benchmark, time_mix, False)
+    enabled = time_mix(True)
+    overhead = disabled / enabled - 1.0
+    if benchmark.stats is not None:
+        benchmark.extra_info["disabled_seconds"] = disabled
+        benchmark.extra_info["validated_seconds"] = enabled
+        benchmark.extra_info["disabled_vs_validated_overhead"] = overhead
+    assert overhead < 0.05, (
+        f"validation-disabled run was {overhead:.1%} slower than a "
+        f"fully-validated run; the disabled path must pay only the "
+        f"is-None tests (expected < 5%)"
     )

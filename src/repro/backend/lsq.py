@@ -18,7 +18,7 @@ energy reduction of Figure 8a.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 
 @dataclass
@@ -59,6 +59,16 @@ class LoadStoreQueue:
         self.stats = LSQStats()
 
     # ---------------- occupancy ----------------
+
+    @property
+    def loads(self) -> Tuple:
+        """Live load entries, oldest-first (read-only; validation)."""
+        return tuple(self._loads)
+
+    @property
+    def stores(self) -> Tuple:
+        """Live store entries, oldest-first (read-only; validation)."""
+        return tuple(self._stores)
 
     @property
     def loads_free(self) -> int:

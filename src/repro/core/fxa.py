@@ -41,10 +41,10 @@ from repro.ixu.pipeline import BypassRegistry, StageFUUsage
 class FXACore(OutOfOrderCore):
     """Front-end execution architecture (BIG+FX / HALF+FX)."""
 
-    def __init__(self, config: CoreConfig, obs=None):
+    def __init__(self, config: CoreConfig, obs=None, validator=None):
         if config.ixu is None:
             raise ValueError("FXACore requires an IXU configuration")
-        super().__init__(config, obs)
+        super().__init__(config, obs, validator)
         ixu = config.ixu
         self.ixu_config = ixu
         self.ixu_bypass = BypassNetwork("ixu", ixu.total_fus)

@@ -41,7 +41,7 @@ _FP_ARITH = frozenset({OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV})
 class InOrderCore:
     """In-order superscalar (LITTLE of Table I)."""
 
-    def __init__(self, config: CoreConfig, obs=None):
+    def __init__(self, config: CoreConfig, obs=None, validator=None):
         if config.core_type != "inorder":
             raise ValueError("InOrderCore requires an 'inorder' config")
         self.config = config
@@ -85,6 +85,9 @@ class InOrderCore:
         self._load_dest: Dict[Reg, bool] = {}
         if obs is not None:
             obs.attach(self)
+        self._validator = validator
+        if validator is not None:
+            validator.attach(self)
 
     # ------------------------------------------------------------------
 
@@ -105,6 +108,8 @@ class InOrderCore:
         self._collect_events()
         if self._obs is not None:
             self._obs.finalize(self)
+        if self._validator is not None:
+            self._validator.finalize(self)
         return self.stats
 
     def _tick(self) -> None:
@@ -115,6 +120,8 @@ class InOrderCore:
             # In-order issue is commitment: an issued instruction
             # retires, so zero-issue cycles are the stall cycles.
             self._obs.on_cycle(self, issued)
+        if self._validator is not None:
+            self._validator.on_cycle(self, issued)
         self.cycle += 1
 
     # ------------------------------------------------------------------
@@ -268,6 +275,8 @@ class InOrderCore:
         )
         # Commit accounting: in-order issue means the instruction will
         # retire; count it now and classify.
+        if self._validator is not None:
+            self._validator.on_commit(self, entry)
         stats = self.stats
         stats.committed += 1
         if inst.is_load:

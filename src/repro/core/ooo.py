@@ -63,9 +63,12 @@ class OutOfOrderCore:
         obs: Optional :class:`~repro.obs.Observability` bundle; when
             None (the default) the pipeline pays one ``is None`` test
             per cycle and collects nothing.
+        validator: Optional :class:`~repro.validate.Validator`; same
+            contract as ``obs`` — None (the default) costs one ``is
+            None`` test per hook site and checks nothing.
     """
 
-    def __init__(self, config: CoreConfig, obs=None):
+    def __init__(self, config: CoreConfig, obs=None, validator=None):
         if config.core_type != "ooo":
             raise ValueError("OutOfOrderCore requires an 'ooo' config")
         self.config = config
@@ -116,6 +119,9 @@ class OutOfOrderCore:
         self._fetch_stall_kind = ""
         if obs is not None:
             obs.attach(self)
+        self._validator = validator
+        if validator is not None:
+            validator.attach(self)
 
     # ------------------------------------------------------------------
     # Public API
@@ -145,6 +151,8 @@ class OutOfOrderCore:
         self._collect_events()
         if self._obs is not None:
             self._obs.finalize(self)
+        if self._validator is not None:
+            self._validator.finalize(self)
         return self.stats
 
     # ------------------------------------------------------------------
@@ -161,6 +169,8 @@ class OutOfOrderCore:
         self.iq.sample_occupancy()
         if self._obs is not None:
             self._obs.on_cycle(self, committed)
+        if self._validator is not None:
+            self._validator.on_cycle(self, committed)
         self.cycle += 1
 
     # ------------------------------------------------------------------
@@ -249,6 +259,8 @@ class OutOfOrderCore:
                 entry.renamed = self.renamer.rename_move(entry.inst)
                 entry.rename_cycle = self.cycle
                 entry.complete_cycle = self.cycle
+                if self._validator is not None:
+                    self._validator.on_rename(self, entry)
                 self.rob.insert(entry)
                 self._completion_counter += 1
                 heapq.heappush(
@@ -259,6 +271,8 @@ class OutOfOrderCore:
                 continue
             entry.renamed = self.renamer.rename(entry.inst)
             entry.rename_cycle = self.cycle
+            if self._validator is not None:
+                self._validator.on_rename(self, entry)
             self.rob.insert(entry)
             inst = entry.inst
             if inst.is_load:
@@ -436,6 +450,10 @@ class OutOfOrderCore:
             complete = cycle + 1
             if violator is not None:
                 self._handle_violation(violator, entry)
+            if self._validator is not None:
+                # After recovery: surviving younger executed loads to
+                # this address are missed ordering violations.
+                self._validator.on_store_executed(self, entry, in_ixu)
         else:
             complete = cycle + LATENCY[inst.op]
         entry.complete_cycle = complete
@@ -532,6 +550,8 @@ class OutOfOrderCore:
         self.store_sets.train_violation(load_entry.inst.pc,
                                         store_entry.inst.pc)
         self._squash_after(load_entry.seq - 1)
+        if self._validator is not None:
+            self._validator.on_violation(self, load_entry, store_entry)
 
     def _squash_after(self, boundary_seq: int) -> None:
         """Squash every instruction younger than ``boundary_seq`` and
@@ -570,6 +590,8 @@ class OutOfOrderCore:
                 and self.waiting_branch.seq > boundary_seq):
             self.waiting_branch = None
         self._squash_hook(boundary_seq)
+        if self._validator is not None:
+            self._validator.on_squash(self, boundary_seq)
         self.fetch_idx = boundary_seq + 1
         self.fetch_resume_cycle = self.cycle + 1
         self._last_fetched_line = -1
@@ -647,6 +669,8 @@ class OutOfOrderCore:
                 stats.committed_fp += 1
             self.renamer.commit(head.renamed)
             self._on_commit(head)
+            if self._validator is not None:
+                self._validator.on_commit(self, head)
             if pipeview is not None:
                 pipeview.record(head, cycle, flushed=False)
             stats.committed += 1

@@ -122,17 +122,19 @@ def model_config(name: str) -> CoreConfig:
         raise KeyError(f"unknown model {name!r}; known: {known}") from None
 
 
-def build_core(spec: Union[str, CoreConfig], obs=None):
+def build_core(spec: Union[str, CoreConfig], obs=None, validator=None):
     """Instantiate the right core class for a model name or config.
 
     ``obs`` is an optional :class:`repro.obs.Observability` bundle; the
     returned core collects metrics/stalls/pipeline traces into it.
+    ``validator`` is an optional :class:`repro.validate.Validator`; the
+    returned core runs under differential + invariant checking.
     """
     config = model_config(spec) if isinstance(spec, str) else spec
     if config.core_type == "inorder":
-        return InOrderCore(config, obs)
+        return InOrderCore(config, obs, validator)
     if config.has_ixu:
-        return FXACore(config, obs)
+        return FXACore(config, obs, validator)
     if config.clusters is not None:
-        return ClusteredCore(config, obs)
-    return OutOfOrderCore(config, obs)
+        return ClusteredCore(config, obs, validator)
+    return OutOfOrderCore(config, obs, validator)

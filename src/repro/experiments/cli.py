@@ -161,6 +161,47 @@ def _json_default(obj):
     return str(obj)
 
 
+def _run_validation(parser, args) -> int:
+    """Handle ``--validate`` and ``--fuzz N`` (exit-code style)."""
+    from repro.validate import validate_all
+    from repro.validate.fuzz import fuzz, render_failures
+
+    if args.fuzz is not None and args.fuzz < 1:
+        parser.error("--fuzz must be >= 1")
+    failed = False
+    report_payload = {}
+    if args.validate:
+        reports = validate_all(benchmarks=args.benchmarks,
+                               seed=args.seed)
+        for report in reports:
+            print(report.summary())
+            if not report.ok:
+                print(report.describe())
+                failed = True
+        report_payload["validate"] = [r.to_dict() for r in reports]
+    if args.fuzz is not None:
+        result = fuzz(args.fuzz, args.seed)
+        if result.ok:
+            print(f"fuzz OK: {len(result.cases)} case(s), "
+                  f"{len(result.reports)} validated runs, seed "
+                  f"{result.seed} — no divergence, no invariant "
+                  f"violation")
+        else:
+            print(render_failures(result))
+            print(f"fuzz FAILED: {len(result.failures)} of "
+                  f"{len(result.reports)} runs, seed {result.seed}; "
+                  f"re-run one case with: python -m repro.validate.fuzz"
+                  f" --seed {result.seed} --case "
+                  f"{result.failing_case_indices[0]} -v")
+            failed = True
+        report_payload["fuzz"] = result.to_dict()
+    if args.fuzz_report:
+        with open(args.fuzz_report, "w") as stream:
+            json.dump(report_payload, stream, indent=2, sort_keys=True)
+        print(f"validation report written to {args.fuzz_report}")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     names = ["table1", "table2", "figure7", "figure8", "figure9",
              "figure10", "figure11", "figure12", "figure13", "headline",
@@ -168,7 +209,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures."
     )
-    parser.add_argument("experiment", choices=names + ["all"])
+    parser.add_argument("experiment", nargs="?", default=None,
+                        choices=names + ["all"])
     parser.add_argument(
         "--benchmarks", nargs="*", default=None,
         help="Benchmark subset (default: all 29).",
@@ -231,7 +273,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--manifest", dest="manifest_path", default=None, metavar="PATH",
         help="Write the run manifest (provenance JSON) to PATH.",
     )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="Differentially validate every core model against the "
+             "golden oracle (plus invariant checks) on a benchmark "
+             "subset (--benchmarks; default hmmer/mcf/lbm) and exit.",
+    )
+    parser.add_argument(
+        "--fuzz", type=int, default=None, metavar="N",
+        help="Run N seeded config/workload fuzz cases through the "
+             "validation harness and exit (see repro.validate.fuzz).",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="Seed for --fuzz / --validate trace generation "
+             "(default 0).",
+    )
+    parser.add_argument(
+        "--fuzz-report", default=None, metavar="PATH",
+        help="Write the JSON divergence report of --fuzz/--validate "
+             "to PATH (CI uploads it on failure).",
+    )
     args = parser.parse_args(argv)
+    if args.validate or args.fuzz is not None:
+        return _run_validation(parser, args)
+    if args.experiment is None:
+        parser.error("an experiment name is required "
+                     "(or --validate / --fuzz N)")
     if args.benchmarks:
         unknown = set(args.benchmarks) - set(ALL_BENCHMARKS)
         if unknown:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable
+from typing import Deque, Iterable, Iterator
 
 
 class FreeList:
@@ -30,6 +30,10 @@ class FreeList:
 
     def __contains__(self, reg_id: int) -> bool:
         return reg_id in self._free
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate free ids oldest-first (validation audits)."""
+        return iter(self._free)
 
     @property
     def capacity(self) -> int:

@@ -172,3 +172,7 @@ class Renamer:
     def free_regs(self, cls: RegClass) -> int:
         """Free physical registers of ``cls`` (occupancy stats)."""
         return len(self.free[cls])
+
+    def refcounts(self, cls: RegClass) -> Tuple[int, ...]:
+        """Per-preg alias reference counts of ``cls`` (validation)."""
+        return tuple(self._refcount[cls])

@@ -1,0 +1,196 @@
+"""Golden-execution oracle: a program-order functional executor.
+
+The timing models are trace-driven — branch outcomes and effective
+addresses are baked into the :class:`~repro.isa.DynInst` stream — so
+the *architectural* semantics of a run are fully determined by the
+trace alone.  The oracle makes those semantics explicit: it executes a
+trace in program order under a canonical value model and produces the
+reference commit trace and final architectural state every core model
+must reproduce at commit.
+
+Canonical value semantics (documented in VALIDATION.md):
+
+* Every architectural register starts with a value derived from its
+  class and index; every memory double-word starts with a value derived
+  from its address.  Both derivations use a fixed 64-bit mixing
+  function, so initial state is identical across processes and Python
+  versions (no reliance on ``hash()``).
+* ``MOV`` copies its source value exactly — this is what makes RENO
+  move elimination checkable: an eliminated move must still behave as a
+  copy at the architectural level.
+* A load's destination receives the current memory value at its
+  effective address (8-byte granularity, keyed by the exact address —
+  the same address-equality model the LSQ uses).
+* A store writes its data-source value (the last source operand) to
+  memory; a store without a data source writes a value derived from
+  its pc.
+* Every other value-producing operation writes
+  ``mix(op, pc, *source values)`` — a compression function, so any
+  difference in executed operands or instruction identity propagates
+  into every dependent value.
+* Writes to the hard-wired zero register (r31/f31) are discarded and
+  reads of it return zero, after the Alpha convention.
+* Branches and other destination-less instructions change no
+  architectural state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import DynInst
+from repro.isa.opclass import OpClass
+from repro.isa.registers import Reg, RegClass
+
+_MASK = (1 << 64) - 1
+
+#: Stable small integers per op class (enum declaration order), used in
+#: place of the enum's string value so mixing stays cheap.
+_OP_TAG = {op: index for index, op in enumerate(OpClass)}
+
+#: Domain tags keeping register and memory initial values disjoint.
+_INT_REG_DOMAIN = 0x1
+_FP_REG_DOMAIN = 0x2
+_MEM_DOMAIN = 0x3
+
+
+def mix64(*parts: int) -> int:
+    """Deterministic 64-bit compression of integer parts.
+
+    A splitmix64-style avalanche applied per part; used for initial
+    state derivation and for every computed result value.
+    """
+    acc = 0x9E3779B97F4A7C15
+    for part in parts:
+        acc ^= part & _MASK
+        acc = (acc * 0xBF58476D1CE4E5B9) & _MASK
+        acc ^= acc >> 27
+        acc = (acc * 0x94D049BB133111EB) & _MASK
+        acc ^= acc >> 31
+    return acc
+
+
+def initial_reg_value(reg: Reg) -> int:
+    """Canonical power-on value of an architectural register."""
+    if reg.is_zero:
+        return 0
+    domain = (_INT_REG_DOMAIN if reg.cls is RegClass.INT
+              else _FP_REG_DOMAIN)
+    return mix64(domain, reg.index)
+
+
+def initial_mem_value(addr: int) -> int:
+    """Canonical power-on value of the double-word at ``addr``."""
+    return mix64(_MEM_DOMAIN, addr)
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One architectural step of the oracle (program order).
+
+    Attributes:
+        inst: The executed dynamic instruction.
+        dest_value: Value written to ``inst.dest`` (None when the
+            instruction produces no register result).
+        store_addr/store_value: The memory write performed, for stores.
+    """
+
+    inst: DynInst
+    dest_value: Optional[int] = None
+    store_addr: Optional[int] = None
+    store_value: Optional[int] = None
+
+
+@dataclass
+class OracleResult:
+    """Reference execution of one trace: commit trace + final state."""
+
+    records: List[CommitRecord] = field(default_factory=list)
+    final_regs: Dict[Reg, int] = field(default_factory=dict)
+    final_mem: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> int:
+        return len(self.records)
+
+
+class GoldenOracle:
+    """Program-order functional executor over ``DynInst`` streams.
+
+    Stateful: :meth:`step` executes one instruction and returns its
+    :class:`CommitRecord`; :meth:`run` executes a whole trace.  The
+    differential checker replays the very same class over a core's
+    committed stream, so oracle and shadow can never drift apart on
+    semantics — only on the instruction sequence actually executed.
+    """
+
+    def __init__(self) -> None:
+        # Registers are materialised lazily from the canonical initial
+        # values so the final-state dicts only carry touched entries.
+        self._regs: Dict[Reg, int] = {}
+        self._mem: Dict[int, int] = {}
+        self.executed = 0
+
+    # ---------------- state access ----------------
+
+    def read_reg(self, reg: Reg) -> int:
+        if reg.is_zero:
+            return 0
+        value = self._regs.get(reg)
+        if value is None:
+            value = initial_reg_value(reg)
+            self._regs[reg] = value
+        return value
+
+    def _write_reg(self, reg: Reg, value: int) -> None:
+        if not reg.is_zero:
+            self._regs[reg] = value
+
+    def read_mem(self, addr: int) -> int:
+        value = self._mem.get(addr)
+        if value is None:
+            value = initial_mem_value(addr)
+            self._mem[addr] = value
+        return value
+
+    # ---------------- execution ----------------
+
+    def step(self, inst: DynInst) -> CommitRecord:
+        """Execute one instruction architecturally."""
+        self.executed += 1
+        srcs: Tuple[int, ...] = tuple(self.read_reg(s) for s in inst.srcs)
+        if inst.is_store:
+            # Sources are (address source[, data source]); the data
+            # value is the last operand when present.
+            value = srcs[-1] if len(srcs) > 1 else mix64(inst.pc)
+            self._mem[inst.mem_addr] = value
+            return CommitRecord(inst=inst, store_addr=inst.mem_addr,
+                                store_value=value)
+        dest = inst.dest
+        if dest is None:
+            return CommitRecord(inst=inst)
+        if inst.is_load:
+            value = self.read_mem(inst.mem_addr)
+        elif inst.op is OpClass.MOV:
+            value = srcs[0] if srcs else 0
+        else:
+            value = mix64(_OP_TAG[inst.op], inst.pc, *srcs)
+        self._write_reg(dest, value)
+        return CommitRecord(inst=inst, dest_value=value)
+
+    def snapshot(self) -> Tuple[Dict[Reg, int], Dict[int, int]]:
+        """Copies of the touched register and memory state."""
+        return dict(self._regs), dict(self._mem)
+
+    def run(self, trace: Sequence[DynInst]) -> OracleResult:
+        """Execute ``trace`` in program order; return the reference."""
+        records = [self.step(inst) for inst in trace]
+        regs, mem = self.snapshot()
+        return OracleResult(records=records, final_regs=regs,
+                            final_mem=mem)
+
+
+def execute_trace(trace: Sequence[DynInst]) -> OracleResult:
+    """Convenience wrapper: run a fresh oracle over ``trace``."""
+    return GoldenOracle().run(trace)

@@ -1,0 +1,62 @@
+"""Determinism: same seed + config ⇒ bit-identical results.
+
+The experiment layer treats ``simulate`` as a pure function of its
+arguments — that purity is what makes the in-memory memo, the disk
+cache and the process pool sound (a cached or worker-computed result
+must be indistinguishable from a local one).  These tests pin it at
+the ``BenchmarkRun.to_dict()`` level: every stat and every energy
+number, bit for bit.
+"""
+
+from repro.core.presets import model_config
+from repro.experiments import runner
+
+
+def _reset():
+    runner.clear_cache()
+    runner.pop_job_records()
+
+
+def test_simulate_repeat_bit_identical():
+    config = model_config("HALF+FX")
+    a = runner.simulate(config, "hmmer", measure=1500, warmup=2000,
+                        seed=3)
+    b = runner.simulate(config, "hmmer", measure=1500, warmup=2000,
+                        seed=3)
+    assert a.to_dict() == b.to_dict()
+
+
+def test_run_benchmark_identical_across_cold_caches():
+    config = model_config("BIG")
+    _reset()
+    a = runner.run_benchmark(config, "mcf", measure=1200, warmup=1500,
+                             seed=5)
+    _reset()
+    b = runner.run_benchmark(config, "mcf", measure=1200, warmup=1500,
+                             seed=5)
+    _reset()
+    assert a.to_dict() == b.to_dict()
+
+
+def test_worker_count_does_not_change_results():
+    """--jobs 1 and --jobs 2 must produce bit-identical runs."""
+    pairs = [
+        (model_config("LITTLE"), "hmmer"),
+        (model_config("HALF+FX"), "hmmer"),
+        (model_config("CA"), "mcf"),
+    ]
+    results = {}
+    for jobs in (1, 2):
+        _reset()
+        runner.set_jobs(jobs)
+        try:
+            runner.prefetch(pairs, measure=1000, warmup=1200, seed=2)
+            results[jobs] = [
+                runner.run_benchmark(config, bench, measure=1000,
+                                     warmup=1200, seed=2).to_dict()
+                for config, bench in pairs
+            ]
+        finally:
+            runner.set_jobs(1)
+    _reset()
+    assert results[1] == results[2]

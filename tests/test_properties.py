@@ -11,6 +11,7 @@ from repro.isa import DynInst, OpClass, int_reg
 from repro.isa.registers import RegClass
 from repro.mem import Cache
 from repro.rename import Renamer
+from repro.validate import validate_core
 from repro.workloads import (
     ALL_BENCHMARKS,
     build_program,
@@ -223,3 +224,24 @@ def test_core_commits_every_instruction(bench, model, seed):
     assert stats.committed == 600
     assert stats.cycles > 0
     assert stats.ipc <= 7.0  # the FXA peak (paper Section IV-B1)
+
+
+# ---------------------------------------------------------------------
+# Differential validation: every core family matches the golden oracle.
+# ---------------------------------------------------------------------
+
+
+@given(
+    bench=st.sampled_from(("hmmer", "mcf", "lbm", "gcc")),
+    model=st.sampled_from(("LITTLE", "BIG", "HALF+FX", "CA")),
+    seed=st.integers(min_value=0, max_value=99),
+)
+@settings(max_examples=12, deadline=None)
+def test_core_matches_golden_oracle(bench, model, seed):
+    """Every core family (in-order, out-of-order, FXA, clustered)
+    commits the trace in program order and reaches the golden oracle's
+    final architectural state, with every microarchitectural invariant
+    held along the way."""
+    trace = generate_trace(bench, 500, seed=seed)
+    report = validate_core(model, trace, benchmark=bench)
+    assert report.ok, report.describe()

@@ -170,3 +170,90 @@ class TestRenamer:
     def test_rejects_too_small_prf(self):
         with pytest.raises(ValueError):
             Renamer(int_prf_entries=32)
+
+
+class TestRenamerRecovery:
+    """Branch-recovery edge cases: exhaustion, double-free, deep undo."""
+
+    def test_exhaustion_then_full_recovery(self):
+        renamer = Renamer(int_prf_entries=38, fp_prf_entries=33)
+        before_free = renamer.free_regs(RegClass.INT)
+        live = []
+        seq = 0
+        while renamer.can_rename(_alu(seq, int_reg(seq % 8), ())):
+            live.append(renamer.rename(_alu(seq, int_reg(seq % 8), ())))
+            seq += 1
+        assert renamer.free_regs(RegClass.INT) == 0
+        # Branch recovery walks back youngest-first; afterwards the
+        # free list must hold every register exactly once — a
+        # double-free here would let two instructions share a preg.
+        for renamed in reversed(live):
+            renamer.squash(renamed)
+        assert renamer.free_regs(RegClass.INT) == before_free
+        freed = list(renamer.free[RegClass.INT])
+        assert len(freed) == len(set(freed))
+        # The recovered renamer must reach exhaustion again cleanly.
+        for seq in range(before_free):
+            renamer.rename(_alu(seq, int_reg(seq % 8), ()))
+        assert renamer.free_regs(RegClass.INT) == 0
+
+    def test_double_squash_rejected(self):
+        renamer = Renamer()
+        renamed = renamer.rename(_alu(0, int_reg(5), ()))
+        renamer.squash(renamed)
+        with pytest.raises(RuntimeError):
+            renamer.squash(renamed)
+
+    def test_eliminated_move_squash_keeps_shared_register(self):
+        renamer = Renamer()
+        producer = renamer.rename(_alu(0, int_reg(1), ()))
+        move = DynInst(seq=1, pc=4, op=OpClass.MOV, dest=int_reg(2),
+                       srcs=(int_reg(1),))
+        renamed_move = renamer.rename_move(move)
+        assert renamed_move.dest == producer.dest  # alias, no new preg
+        free_before = renamer.free_regs(RegClass.INT)
+        renamer.squash(renamed_move)
+        # r1 still names the shared register: it must stay allocated.
+        assert renamer.free_regs(RegClass.INT) == free_before
+        assert renamer.refcounts(RegClass.INT)[producer.dest] == 1
+        renamer.squash(producer)
+        assert renamer.refcounts(RegClass.INT)[producer.dest] == 0
+
+    def test_eliminated_move_branch_recovery_no_double_free(self):
+        # The double-free shape a walk-back recovery bug would produce:
+        # a squashed rename superseding an alias must not release the
+        # shared register, while a committed one releases exactly one
+        # reference.
+        renamer = Renamer()
+        producer = renamer.rename(_alu(0, int_reg(1), ()))
+        shared = producer.dest
+        move = DynInst(seq=1, pc=4, op=OpClass.MOV, dest=int_reg(2),
+                       srcs=(int_reg(1),))
+        renamed_move = renamer.rename_move(move)
+        renamer.commit(producer)
+        renamer.commit(renamed_move)
+        assert renamer.refcounts(RegClass.INT)[shared] == 2
+        squashed = renamer.rename(_alu(2, int_reg(2), ()))
+        renamer.squash(squashed)
+        assert renamer.refcounts(RegClass.INT)[shared] == 2
+        committed = renamer.rename(_alu(3, int_reg(2), ()))
+        renamer.commit(committed)
+        assert renamer.refcounts(RegClass.INT)[shared] == 1
+
+    def test_rat_checkpoint_restore_at_every_depth(self):
+        renamer = Renamer()
+        rat = renamer.rat[RegClass.INT]
+        depth = 24
+        mappings = [rat.lookup(int_reg(7))]
+        live = []
+        for seq in range(depth):
+            renamed = renamer.rename(
+                _alu(seq, int_reg(7), (int_reg(7),)))
+            live.append(renamed)
+            mappings.append(renamed.dest)
+        # Walk back one checkpoint at a time; the mapping must be
+        # correct at every intermediate depth, not just at the end.
+        for level in range(depth, 0, -1):
+            assert rat.lookup(int_reg(7)) == mappings[level]
+            renamer.squash(live.pop())
+        assert rat.lookup(int_reg(7)) == mappings[0]
