@@ -57,6 +57,10 @@ class LoadStoreQueue:
         self._loads: List = []
         self._stores: List = []
         self.stats = LSQStats()
+        # Youngest sequence number among executed loads; lets an FXA
+        # store verify omission 1's premise ("no younger executed
+        # load") with one comparison instead of a queue search.
+        self._youngest_executed_load_seq = -1
 
     # ---------------- occupancy ----------------
 
@@ -125,7 +129,18 @@ class LoadStoreQueue:
             self.stats.load_writes += 1
             entry.lsq_written = True
         entry.mem_executed = True
+        if entry.seq > self._youngest_executed_load_seq:
+            self._youngest_executed_load_seq = entry.seq
         return forwarded
+
+    def has_younger_executed_load(self, seq: int) -> bool:
+        """Has any load younger than ``seq`` already executed?
+
+        When True for a store, the FXA violation-search omission's
+        premise does not hold and the store must search (execute in
+        the OXU).
+        """
+        return self._youngest_executed_load_seq > seq
 
     def execute_store(self, entry, in_ixu: bool):
         """Perform the LSQ side of a store's execution.
@@ -168,3 +183,10 @@ class LoadStoreQueue:
         """Drop all squashed entries."""
         self._loads = [e for e in self._loads if e.seq <= seq]
         self._stores = [e for e in self._stores if e.seq <= seq]
+        if self._youngest_executed_load_seq > seq:
+            # Squashed loads re-execute on replay; recompute over the
+            # survivors so stale youth doesn't block IXU stores.
+            self._youngest_executed_load_seq = max(
+                (e.seq for e in self._loads if e.mem_executed),
+                default=-1,
+            )

@@ -141,6 +141,12 @@ class FXACore(OutOfOrderCore):
                 return False
         if inst.is_load and not self._load_dependence_clear(entry):
             return False
+        if inst.is_store and self.lsq.has_younger_executed_load(entry.seq):
+            # Omission 1's premise fails: a younger load already
+            # executed (it beat this store through the IXU, or issued
+            # from the OXU), so the store must run its violation
+            # search — let it flow to the OXU where the search runs.
+            return False
         # Structural: a free FU at this stage...
         if not self._stage_usage.try_use(cycle, pos):
             return False

@@ -10,6 +10,7 @@ determinism and entry points.
 import pytest
 
 from repro.core import build_core
+from repro.core.config import CoreConfig, IXUConfig
 from repro.core.presets import model_config
 from repro.isa import DynInst, OpClass, int_reg
 from repro.validate import (
@@ -20,6 +21,7 @@ from repro.validate import (
     initial_mem_value,
     initial_reg_value,
     mix64,
+    validate_core,
     validate_model,
 )
 from repro.validate.fuzz import fuzz, main as fuzz_main, sample_case
@@ -172,6 +174,61 @@ class TestChecker:
         assert payload["model"] == "BIG"
         assert payload["benchmark"] == "hmmer"
         assert payload["violations"] == []
+
+
+# ---------------------------------------------------------------------
+# Regression: the IXU store/load ordering race the checker found
+# ---------------------------------------------------------------------
+
+
+def _race_trace():
+    """Minimal trace reproducing the IXU store/load ordering race.
+
+    A same-address store→load pair behind two fillers: with a single
+    FU per IXU stage, the store loses stage-FU arbitration to its own
+    fetch cohort while the younger load — one cycle behind, in its own
+    cohort, with a free stage FU and memory port — executes first in
+    the IXU.  Before the fix, the store then also executed in the IXU,
+    and omission 1 (paper Section II-D3) skipped exactly the violation
+    search that would have caught the younger executed load.
+    """
+    addr = 0x1000
+    return [
+        DynInst(seq=0, pc=0, op=OpClass.INT_ALU, dest=int_reg(1),
+                srcs=(int_reg(2), int_reg(3))),
+        DynInst(seq=1, pc=4, op=OpClass.INT_ALU, dest=int_reg(4),
+                srcs=(int_reg(5), int_reg(6))),
+        DynInst(seq=2, pc=8, op=OpClass.STORE,
+                srcs=(int_reg(7), int_reg(8)), mem_addr=addr,
+                mem_size=8),
+        DynInst(seq=3, pc=12, op=OpClass.LOAD, dest=int_reg(9),
+                srcs=(int_reg(10),), mem_addr=addr, mem_size=8),
+        DynInst(seq=4, pc=16, op=OpClass.INT_ALU, dest=int_reg(11),
+                srcs=(int_reg(9),)),
+    ]
+
+
+_RACE_CONFIG = CoreConfig(
+    name="ixu-race", core_type="ooo",
+    fetch_width=4, rename_width=3, issue_width=2, commit_width=4,
+    iq_entries=16, rob_entries=32, fu_int=1, fu_mem=1, fu_fp=1,
+    ixu=IXUConfig(stage_fus=(1, 1, 1), bypass_stage_limit=None),
+)
+
+
+class TestIXUStoreLoadRace:
+    def test_no_ordering_violation_escapes_the_ixu(self):
+        report = validate_core(_RACE_CONFIG, _race_trace())
+        assert report.ok, report.describe()
+
+    def test_store_falls_back_to_oxu_and_search_catches_the_load(self):
+        # The fix must not hide the race — it must route the store to
+        # the OXU, where the violation search runs and recovers.
+        core = build_core(_RACE_CONFIG)
+        stats = core.run(_race_trace())
+        assert stats.committed == 5
+        assert core.lsq.stats.violations >= 1
+        assert core.lsq.stats.violation_searches >= 1
 
 
 # ---------------------------------------------------------------------
