@@ -364,3 +364,4 @@ class InOrderCore:
         events.l2_accesses = l2.stats.accesses
         events.l2_misses = l2.stats.misses
         events.mem_accesses = self.hierarchy.mem_accesses
+        events.prefetches = self.hierarchy.prefetches

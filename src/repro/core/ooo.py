@@ -726,5 +726,6 @@ class OutOfOrderCore:
         events.l2_accesses = l2.stats.accesses
         events.l2_misses = l2.stats.misses
         events.mem_accesses = self.hierarchy.mem_accesses
+        events.prefetches = self.hierarchy.prefetches
         self.stats.iq_mean_occupancy = self.iq.mean_occupancy
         self.stats.forwarded_loads = self.lsq.stats.forwarded_loads

@@ -61,6 +61,7 @@ class EventCounts:
     l2_accesses: int = 0
     l2_misses: int = 0
     mem_accesses: int = 0
+    prefetches: int = 0
 
     def to_dict(self) -> Dict:
         """Plain-dict form (JSON-serializable)."""

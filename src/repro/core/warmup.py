@@ -40,10 +40,19 @@ def functional_warmup(core, trace: Iterable[DynInst]) -> None:
 
 
 def reset_event_counters(core) -> None:
-    """Zero the counters warm-up perturbed (cache stats, predictor)."""
+    """Zero the counters warm-up perturbed (cache stats, predictor).
+
+    Every hierarchy *event* counter must be reset here — including
+    ``prefetches``, which warm-up traffic trains heavily; leaving it
+    would leak warm-up-issued prefetches into the measured interval and
+    inflate the energy model's prefetch traffic.  The warmed *state*
+    (cache contents, the tagged-prefetch line set, predictor tables)
+    is deliberately kept: that is the point of the warm-up.
+    """
     for cache in (core.hierarchy.l1i, core.hierarchy.l1d,
                   core.hierarchy.l2):
         cache.stats = CacheStats()
     core.hierarchy.mem_accesses = 0
+    core.hierarchy.prefetches = 0
     core.predictor.lookups = 0
     core.predictor.mispredictions = 0

@@ -214,6 +214,7 @@ class EnergyModel:
         dynamic[Component.L1D] = (
             events.l1d_accesses * params.l1d_access
             + events.l1d_misses * params.l1d_fill
+            + events.prefetches * params.prefetch
         )
         dynamic[Component.L2] = events.l2_accesses * params.l2_access
 

@@ -7,12 +7,25 @@ command line.
 """
 
 from repro.experiments.diskcache import DiskCache
-from repro.experiments.pool import SimJob, run_jobs
+from repro.experiments.pool import (
+    JobFailure,
+    JobResult,
+    JobTimeoutError,
+    SimJob,
+    SweepAborted,
+    run_jobs,
+    set_fault_injector,
+    split_outcomes,
+)
 from repro.experiments.runner import (
     BenchmarkRun,
+    JobFailedError,
+    complete_subset,
     run_benchmark,
+    failed_runs,
     prefetch,
     geomean,
+    set_fault_policy,
     set_jobs,
     set_disk_cache,
     DEFAULT_MEASURE,
@@ -22,13 +35,23 @@ from repro.experiments.runner import (
 __all__ = [
     "BenchmarkRun",
     "DiskCache",
+    "JobFailedError",
+    "JobFailure",
+    "JobResult",
+    "JobTimeoutError",
     "SimJob",
+    "SweepAborted",
+    "complete_subset",
+    "failed_runs",
     "run_benchmark",
     "run_jobs",
     "prefetch",
     "geomean",
+    "set_fault_injector",
+    "set_fault_policy",
     "set_jobs",
     "set_disk_cache",
+    "split_outcomes",
     "DEFAULT_MEASURE",
     "DEFAULT_WARMUP",
 ]

@@ -40,7 +40,13 @@ from repro.experiments import (
 )
 from repro.experiments import runner
 from repro.experiments.diskcache import DiskCache, code_version
-from repro.experiments.pool import total_wall_seconds
+from repro.experiments.pool import (
+    FaultSpec,
+    SweepAborted,
+    set_fault_injector,
+    split_outcomes,
+    total_wall_seconds,
+)
 from repro.obs import (
     JobRecord,
     KanataWriter,
@@ -149,8 +155,20 @@ def _print_job_summary(job_records, count: int = 5) -> None:
     slowest = sorted(job_records, key=lambda r: r.wall_seconds,
                      reverse=True)
     for record in slowest[:count]:
+        marker = "" if record.ok else "  [FAILED]"
         print(f"  {record.wall_seconds:7.2f}s  pid {record.worker_pid}"
-              f"  {record.job.describe()}")
+              f"  {record.job.describe()}{marker}")
+
+
+def _print_failure_summary(failures) -> None:
+    """Quarantined-jobs table: which jobs failed, why, how many tries."""
+    print(f"[{len(failures)} job(s) FAILED and were quarantined; "
+          f"affected figure cells show gaps]")
+    print(f"  {'job':44s}{'cause':14s}{'tries':>6s}  error")
+    for failure in failures:
+        print(f"  {failure.job.describe():44s}{failure.cause:14s}"
+              f"{failure.attempts:6d}  {failure.error}")
+    print("  [re-run with --resume to retry only the failed jobs]")
 
 
 def _json_default(obj):
@@ -237,6 +255,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="Disable the on-disk result cache (always re-simulate).",
     )
     parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="Per-job execution-time limit (queue wait is not charged); "
+             "a job over the limit is retried, then quarantined.",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="Re-run a failed job (crash, hang, dead worker) up to N "
+             "extra times before quarantining it (default 0).",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.25, metavar="SECONDS",
+        help="Base delay before retry n, scaled as BACKOFF*2^(n-1) "
+             "(default 0.25).",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="Abort the sweep on the first quarantined job (completed "
+             "results are still persisted to the disk cache) instead "
+             "of finishing with gaps.",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="Replay completed jobs from the disk cache and re-run "
+             "only missing or previously-failed ones (clears their "
+             "failure records); requires the cache.",
+    )
+    parser.add_argument(
+        "--inject-fault", default=None, metavar="SPEC",
+        help="Testing/CI hook: inject a worker fault, e.g. crash:lbm, "
+             "flaky:mcf:2, die:hmmer, hang:lbm:30, sleep::0.2 "
+             "(KIND[:BENCHMARK[:PARAM]]; empty benchmark = all jobs).",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="Append a text chart to experiments that support one.",
     )
@@ -306,6 +357,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"unknown benchmarks: {sorted(unknown)}")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.retry_backoff < 0:
+        parser.error("--retry-backoff must be >= 0")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the disk cache; drop --no-cache")
+    if args.inject_fault:
+        try:
+            set_fault_injector(FaultSpec.parse(args.inject_fault))
+        except ValueError as error:
+            parser.error(f"--inject-fault: {error}")
     if (args.pipeview_benchmark
             and args.pipeview_benchmark not in ALL_BENCHMARKS):
         parser.error(
@@ -316,6 +380,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     started_clock = time.time()
     runner.pop_job_records()  # drain stale accounting (tests, REPLs)
     runner.set_jobs(args.jobs)
+    runner.set_fault_policy(retries=args.retries,
+                            retry_backoff=args.retry_backoff,
+                            fail_fast=args.fail_fast,
+                            timeout=args.timeout,
+                            resume=args.resume)
+    fault_policy = runner.get_fault_policy()
     previous_cache = runner.get_disk_cache()
     if args.no_cache:
         runner.set_disk_cache(None)
@@ -343,14 +413,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         job_records = runner.pop_job_records()
         if job_records:
             _print_job_summary(job_records)
+        failures = runner.failed_runs()
+        if failures:
+            _print_failure_summary(failures)
         cache = runner.get_disk_cache()
         cache_counts = cache.counters() if cache is not None else {}
         if cache is not None and (cache.hits or cache.stores):
             print(f"[disk cache: {cache.hits} hits, "
                   f"{cache.stores} new entries under {cache.root}]")
+        if args.resume and cache is not None:
+            simulated = sum(1 for r in job_records if r.ok)
+            print(f"[resume: {cache.hits} job(s) replayed from cache, "
+                  f"{simulated} re-simulated]")
+    except SweepAborted as aborted:
+        completed, _ = split_outcomes(runner.pop_job_records())
+        print(f"sweep aborted (--fail-fast): {aborted}")
+        print(f"[{len(completed)} completed job(s) were persisted to "
+              f"the disk cache before the abort; re-run with --resume "
+              f"to retry only the failed jobs]")
+        return 2
     finally:
         runner.set_disk_cache(previous_cache)
         runner.set_jobs(1)
+        runner.set_fault_policy()
+        if args.inject_fault:
+            set_fault_injector(None)
     if args.json_path:
         with open(args.json_path, "w") as stream:
             json.dump(collected, stream, indent=2, sort_keys=True,
@@ -380,11 +467,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             finished_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             wall_seconds=time.time() - started_clock,
             workers=args.jobs,
-            jobs_simulated=len(job_records),
+            jobs_simulated=sum(1 for r in job_records if r.ok),
+            jobs_failed=sum(1 for r in job_records if not r.ok),
+            fault_policy=fault_policy,
             job_records=[
                 JobRecord(job=r.job.describe(),
                           wall_seconds=r.wall_seconds,
-                          worker_pid=r.worker_pid)
+                          worker_pid=r.worker_pid,
+                          attempts=r.attempts,
+                          status="ok" if r.ok else "failed",
+                          cause=getattr(r, "cause", ""),
+                          error=getattr(r, "error", ""))
                 for r in job_records
             ],
             cache=cache_counts,

@@ -17,6 +17,14 @@ SHA-256 fingerprint of
 Entries are written atomically (temp file + ``os.replace``) so parallel
 workers and concurrent CLI invocations never observe torn files; a
 corrupt or unreadable entry is treated as a miss and deleted.
+
+Besides finished runs the cache also persists **failure records**
+(``<digest>.fail.json``): when a sweep quarantines a job (crash, hang,
+worker death) the structured failure is stored under the same content
+address, so later invocations report the same gap without re-paying the
+crash — until ``--resume`` clears the record and retries the job, the
+code version changes (new fingerprint), or a successful run replaces
+it.  These are the resume keys of the fault-tolerant runner.
 """
 
 from __future__ import annotations
@@ -96,10 +104,15 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.failures_seen = 0
+        self.failures_stored = 0
 
     def _path(self, digest: str) -> Path:
         # Two-level fan-out keeps directory listings small.
         return self.root / digest[:2] / f"{digest}.json"
+
+    def _failure_path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.fail.json"
 
     def load(self, config, benchmark: str, measure: int, warmup: int,
              seed: int):
@@ -138,6 +151,17 @@ class DiskCache:
             "benchmark": benchmark,
             "run": run.to_dict(),
         }
+        if not self._write_json(path, payload):
+            return  # a read-only cache dir must not break simulation
+        self.stores += 1
+        # A fresh success supersedes any stale quarantine record.
+        try:
+            self._failure_path(digest).unlink()
+        except OSError:
+            pass
+
+    def _write_json(self, path: Path, payload: dict) -> bool:
+        """Atomic JSON write; False (never an exception) on failure."""
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -145,8 +169,51 @@ class DiskCache:
                 json.dump(payload, stream)
             os.replace(tmp, path)
         except OSError:
-            return  # a read-only cache dir must not break simulation
-        self.stores += 1
+            return False
+        return True
+
+    def store_failure(self, config, benchmark: str, measure: int,
+                      warmup: int, seed: int, record: dict) -> None:
+        """Persist one quarantined job's failure record (resume key).
+
+        ``record`` is the plain-dict form of a
+        :class:`~repro.experiments.pool.JobFailure`; later invocations
+        treat the job as failed without re-running it until the record
+        is cleared (``--resume``) or a successful run replaces it.
+        """
+        digest = fingerprint(config, benchmark, measure, warmup, seed)
+        if self._write_json(self._failure_path(digest),
+                            {"fingerprint": digest, "failure": record}):
+            self.failures_stored += 1
+
+    def load_failure(self, config, benchmark: str, measure: int,
+                     warmup: int, seed: int):
+        """Return the persisted failure record dict, or None."""
+        digest = fingerprint(config, benchmark, measure, warmup, seed)
+        path = self._failure_path(digest)
+        try:
+            with open(path) as stream:
+                record = json.load(stream)["failure"]
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.failures_seen += 1
+        return record
+
+    def clear_failure(self, config, benchmark: str, measure: int,
+                      warmup: int, seed: int) -> bool:
+        """Drop one failure record (``--resume`` retries the job)."""
+        digest = fingerprint(config, benchmark, measure, warmup, seed)
+        try:
+            self._failure_path(digest).unlink()
+        except OSError:
+            return False
+        return True
 
     def counters(self) -> dict:
         """This invocation's accounting as a plain dict.
@@ -159,27 +226,34 @@ class DiskCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "failures_seen": self.failures_seen,
+            "failures_stored": self.failures_stored,
             "root": str(self.root),
         }
 
     def reset_counters(self) -> None:
         """Zero the per-invocation counters (the entries stay)."""
         self.hits = self.misses = self.stores = 0
+        self.failures_seen = self.failures_stored = 0
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (results and failure records alike);
+        returns the number of *result* entries removed."""
         removed = 0
         if not self.root.exists():
             return 0
         for path in self.root.glob("*/*.json"):
             try:
                 path.unlink()
-                removed += 1
             except OSError:
-                pass
+                continue
+            if not path.name.endswith(".fail.json"):
+                removed += 1
         return removed
 
     def __len__(self) -> int:
+        """Number of cached *result* entries (failure records excluded)."""
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for path in self.root.glob("*/*.json")
+                   if not path.name.endswith(".fail.json"))

@@ -13,6 +13,7 @@ from repro.core import model_config, MODEL_NAMES
 from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
+    complete_subset,
     geomean,
     prefetch,
     run_benchmark,
@@ -28,11 +29,19 @@ def run(
 ) -> Dict[str, Dict[str, float]]:
     """Return {model: {"INT"|"FP"|"ALL": PER relative to BIG}}."""
     benchmarks = list(benchmarks or (INT_BENCHMARKS + FP_BENCHMARKS))
-    int_set = [b for b in benchmarks if b in INT_BENCHMARKS]
-    fp_set = [b for b in benchmarks if b in FP_BENCHMARKS]
     configs = [model_config("BIG")] + [model_config(m) for m in models]
     prefetch([(c, b) for c in configs for b in benchmarks],
              measure=measure, warmup=warmup)
+    # Group geomeans need every model on every program: drop benchmarks
+    # with quarantined jobs (the sweep's explicit gaps).
+    benchmarks = complete_subset(configs, benchmarks,
+                                 measure=measure, warmup=warmup)
+    if not benchmarks:
+        raise RuntimeError(
+            "no benchmark completed on every model; nothing to "
+            "aggregate (see the failure summary)")
+    int_set = [b for b in benchmarks if b in INT_BENCHMARKS]
+    fp_set = [b for b in benchmarks if b in FP_BENCHMARKS]
     base = {
         bench: run_benchmark(model_config("BIG"), bench, measure, warmup)
         for bench in benchmarks

@@ -16,6 +16,7 @@ from repro.core.presets import half_fx_config
 from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
+    complete_subset,
     geomean,
     prefetch,
     run_benchmark,
@@ -57,6 +58,14 @@ def run(
         configs.append(_config(stage_fus, False))
     prefetch([(c, b) for c in configs for b in benchmarks],
              measure=measure, warmup=warmup)
+    # Relative-IPC geomeans need every sweep point on every program:
+    # drop benchmarks with quarantined jobs (the sweep's explicit gaps).
+    benchmarks = complete_subset(configs, benchmarks,
+                                 measure=measure, warmup=warmup)
+    if not benchmarks:
+        raise RuntimeError(
+            "no benchmark completed on every sweep point; nothing to "
+            "aggregate (see the failure summary)")
 
     def mean_ipc(config) -> float:
         return geomean([

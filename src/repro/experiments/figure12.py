@@ -15,6 +15,7 @@ from repro.core.presets import half_fx_config
 from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
+    complete_subset,
     geomean,
     prefetch,
     run_benchmark,
@@ -40,10 +41,19 @@ def run(
     benchmarks = list(
         benchmarks or (INT_BENCHMARKS + FP_BENCHMARKS)
     )
+    configs = [depth_config(d) for d in depths]
+    prefetch([(c, b) for c in configs for b in benchmarks],
+             measure=measure, warmup=warmup)
+    # Depth-series geomeans need every depth on every program: drop
+    # benchmarks with quarantined jobs (the sweep's explicit gaps).
+    benchmarks = complete_subset(configs, benchmarks,
+                                 measure=measure, warmup=warmup)
+    if not benchmarks:
+        raise RuntimeError(
+            "no benchmark completed at every depth; nothing to "
+            "aggregate (see the failure summary)")
     int_set = [b for b in benchmarks if b in INT_BENCHMARKS]
     fp_set = [b for b in benchmarks if b in FP_BENCHMARKS]
-    prefetch([(depth_config(d), b) for d in depths for b in benchmarks],
-             measure=measure, warmup=warmup)
     results: Dict[str, Dict[int, float]] = {
         "INT": {}, "FP": {}, "ALL": {}
     }

@@ -3,6 +3,10 @@
 The paper plots one bar group per SPEC CPU2006 program (INT then FP) for
 LITTLE, BIG, BIG+FX, HALF and HALF+FX, plus geometric means for the INT
 group, FP group and all programs.  ``run`` returns the same series.
+
+A (model, benchmark) cell whose job was quarantined by the fault-
+tolerant sweep is reported as ``None`` and rendered as an explicit gap
+(``--``); the geometric means cover only the cells that completed.
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ def run(
     """Simulate and return {model: {benchmark|mean-label: relative IPC}}.
 
     Values are IPC relative to BIG on the same benchmark, exactly as the
-    figure's y-axis.
+    figure's y-axis; a quarantined (failed) cell is ``None``.
     """
     benchmarks = list(benchmarks or (INT_BENCHMARKS + FP_BENCHMARKS))
     int_set = [b for b in benchmarks if b in INT_BENCHMARKS]
@@ -39,23 +43,34 @@ def run(
     configs = [model_config("BIG")] + [model_config(m) for m in models]
     prefetch([(c, b) for c in configs for b in benchmarks],
              measure=measure, warmup=warmup)
-    base_ipc: Dict[str, float] = {}
+    base_ipc: Dict[str, Optional[float]] = {}
     for bench in benchmarks:
-        base_ipc[bench] = run_benchmark(
-            model_config("BIG"), bench, measure, warmup
-        ).ipc
-    results: Dict[str, Dict[str, float]] = {}
+        base = run_benchmark(model_config("BIG"), bench, measure,
+                             warmup, missing_ok=True)
+        base_ipc[bench] = base.ipc if base is not None else None
+    results: Dict[str, Dict[str, Optional[float]]] = {}
     for model in models:
         config = model_config(model)
-        rel: Dict[str, float] = {}
+        rel: Dict[str, Optional[float]] = {}
         for bench in benchmarks:
-            run_result = run_benchmark(config, bench, measure, warmup)
-            rel[bench] = run_result.ipc / base_ipc[bench]
+            run_result = run_benchmark(config, bench, measure, warmup,
+                                       missing_ok=True)
+            if run_result is None or base_ipc[bench] is None:
+                rel[bench] = None  # quarantined: explicit gap
+            else:
+                rel[bench] = run_result.ipc / base_ipc[bench]
+        have = [b for b in benchmarks if rel[b] is not None]
+        int_have = [b for b in int_set if rel[b] is not None]
+        fp_have = [b for b in fp_set if rel[b] is not None]
         if int_set:
-            rel["mean(INT)"] = geomean([rel[b] for b in int_set])
+            rel["mean(INT)"] = (
+                geomean([rel[b] for b in int_have]) if int_have else None
+            )
         if fp_set:
-            rel["mean(FP)"] = geomean([rel[b] for b in fp_set])
-        rel["mean"] = geomean([rel[b] for b in benchmarks])
+            rel["mean(FP)"] = (
+                geomean([rel[b] for b in fp_have]) if fp_have else None
+            )
+        rel["mean"] = geomean([rel[b] for b in have]) if have else None
         results[model] = rel
     return results
 
@@ -67,7 +82,11 @@ def format_table(results: Dict[str, Dict[str, float]]) -> str:
     lines = ["Figure 7: IPC relative to BIG",
              f"{'benchmark':14s}" + "".join(f"{m:>10s}" for m in models)]
     for row in rows:
-        cells = "".join(f"{results[m][row]:10.3f}" for m in models)
+        cells = "".join(
+            f"{results[m][row]:10.3f}" if results[m][row] is not None
+            else f"{'--':>10s}"
+            for m in models
+        )
         lines.append(f"{row:14s}{cells}")
     return "\n".join(lines)
 
@@ -76,7 +95,8 @@ def format_chart(results: Dict[str, Dict[str, float]]) -> str:
     """Bar chart of the geometric means (the figure's right-hand bars)."""
     from repro.experiments.textchart import bar_chart
 
-    means = {model: rel["mean"] for model, rel in results.items()}
+    means = {model: rel["mean"] for model, rel in results.items()
+             if rel["mean"] is not None}
     return bar_chart(means, title="Figure 7 (geomean IPC vs BIG)",
                      reference=1.0)
 

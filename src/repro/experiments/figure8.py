@@ -15,6 +15,7 @@ from repro.energy import Component
 from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
+    complete_subset,
     prefetch,
     run_benchmark,
 )
@@ -36,8 +37,17 @@ def run(
     "ixu_static"}} relative to BIG's FUs+bypass total.
     """
     benchmarks = list(benchmarks or ALL_BENCHMARKS)
-    prefetch([(model_config(m), b) for m in models for b in benchmarks],
+    configs = [model_config(m) for m in models]
+    prefetch([(c, b) for c in configs for b in benchmarks],
              measure=measure, warmup=warmup)
+    # Stacked sums must cover the same programs for every model, so a
+    # benchmark any model's job was quarantined on is dropped whole.
+    benchmarks = complete_subset(configs, benchmarks,
+                                 measure=measure, warmup=warmup)
+    if not benchmarks:
+        raise RuntimeError(
+            "no benchmark completed on every model; nothing to "
+            "aggregate (see the failure summary)")
     sums: Dict[str, Dict[Component, Dict[str, float]]] = {}
     for model in models:
         config = model_config(model)

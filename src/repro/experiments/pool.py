@@ -2,30 +2,58 @@
 
 Design-space evaluation is embarrassingly parallel across (model,
 benchmark) pairs — every figure in the reproduction is a static job list
-with no cross-job data flow.  :func:`run_jobs` maps such a list over a
-``multiprocessing`` pool:
+with no cross-job data flow.  :func:`run_jobs` maps such a list over
+worker processes:
 
 * **Deterministic**: each job re-derives its trace from (benchmark,
   seed), so a job's result is a pure function of the job tuple; results
   return in submission order and are bit-for-bit identical to a serial
   run regardless of worker count or scheduling.
+* **Fault tolerant**: a worker exception, a wedged (timed-out) job or a
+  worker process dying outright produces a structured
+  :class:`JobFailure` in the job's result slot instead of tearing down
+  the sweep; every healthy job still completes.  A per-job retry budget
+  (``retries``, exponential ``retry_backoff``) re-runs transient
+  failures before quarantining them; ``fail_fast`` instead aborts on the
+  first exhausted job with :class:`SweepAborted`, which carries every
+  result completed before the abort.
 * **Graceful fallback**: ``workers <= 1``, a single job, or a platform
   without ``fork`` (no start method at all) degrades to a plain serial
   loop in-process.
-* **Accounted**: every :class:`JobResult` carries the job's wall-clock
-  seconds and the worker pid; an optional per-job ``timeout`` aborts a
-  wedged sweep instead of hanging the whole figure.
+* **Accounted**: every :class:`JobResult`/:class:`JobFailure` carries
+  the job's wall-clock seconds, the worker pid and the attempt count.
+
+Timeout semantics: ``timeout`` bounds a job's *execution* time, measured
+from the moment a worker actually starts it — time spent queued behind
+other jobs while ``workers < len(jobs)`` is never charged (each job is
+scheduled into a free worker slot and its deadline starts at its own
+worker-side start signal).  In the serial path the check is necessarily
+post-hoc: the job has already run to completion in-process when the
+over-budget wall time is observed, so it is quarantined without retry
+(a deterministic job would only run long again) and all prior completed
+results are kept.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_lib
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core import CoreConfig
+
+#: Parent-side poll interval while waiting on worker results.
+_POLL_SECONDS = 0.02
+#: How long a silently-exited worker may owe its (possibly in-flight)
+#: result message before the parent declares a worker-death.
+_DEATH_GRACE_SECONDS = 0.5
+#: Extra allowance on top of ``timeout`` for a worker that never even
+#: reported its execution start (covers process startup / import cost).
+_START_GRACE_SECONDS = 5.0
 
 
 @dataclass(frozen=True)
@@ -52,10 +80,162 @@ class JobResult:
     run: object                  # BenchmarkRun (import cycle avoided)
     wall_seconds: float = 0.0
     worker_pid: int = field(default_factory=os.getpid)
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return True
 
 
-class JobTimeoutError(RuntimeError):
-    """A simulation job exceeded the per-job timeout."""
+@dataclass
+class JobFailure:
+    """One job the sweep gave up on: quarantined, not fatal.
+
+    ``cause`` is one of ``"exception"`` (the worker raised),
+    ``"timeout"`` (the job exceeded the per-job execution deadline) or
+    ``"worker-death"`` (the worker process exited without reporting a
+    result — OOM kill, segfault, ``os._exit``).  ``attempts`` counts
+    every try, including retries.
+    """
+
+    job: SimJob
+    cause: str
+    error: str = ""
+    error_type: str = ""
+    attempts: int = 1
+    wall_seconds: float = 0.0
+    worker_pid: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        text = (f"{self.job.describe()}: {self.cause} after "
+                f"{self.attempts} attempt(s)")
+        if self.error:
+            text += f" — {self.error}"
+        return text
+
+    def to_dict(self) -> Dict:
+        """Scalar fields only (the job is recorded as its description)."""
+        return {
+            "job": self.job.describe(),
+            "cause": self.cause,
+            "error": self.error,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+            "wall_seconds": self.wall_seconds,
+            "worker_pid": self.worker_pid,
+        }
+
+    @classmethod
+    def from_dict(cls, job: SimJob, data: Dict) -> "JobFailure":
+        """Rehydrate a persisted record against the live ``job``."""
+        return cls(
+            job=job,
+            cause=data.get("cause", "exception"),
+            error=data.get("error", ""),
+            error_type=data.get("error_type", ""),
+            attempts=int(data.get("attempts", 1)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            worker_pid=int(data.get("worker_pid", 0)),
+        )
+
+
+class SweepAborted(RuntimeError):
+    """``fail_fast`` abort: the first quarantined job stopped the sweep.
+
+    ``completed`` holds every :class:`JobResult` finished before the
+    abort (in submission order) so callers can persist the work already
+    done; ``failure`` is the job that exhausted its retry budget.
+    """
+
+    def __init__(self, failure: JobFailure,
+                 completed: Sequence[JobResult]):
+        self.failure = failure
+        self.completed = list(completed)
+        super().__init__(failure.describe())
+
+
+class JobTimeoutError(SweepAborted):
+    """A ``fail_fast`` abort whose cause was the per-job timeout."""
+
+
+class FaultSpec:
+    """Deterministic, picklable fault injector for tests and CI smoke.
+
+    Spec syntax ``KIND[:BENCHMARK[:PARAM]]`` — an empty or ``*``
+    benchmark matches every job:
+
+    * ``crash[:bench]`` — raise inside the worker on every attempt.
+    * ``flaky[:bench[:n]]`` — raise on the first ``n`` attempts
+      (default 1), then succeed; exercises the retry path.
+    * ``die[:bench]`` — ``os._exit`` the worker (no result message),
+      exercising worker-death isolation.
+    * ``hang[:bench[:seconds]]`` — sleep (default 3600 s) so the job
+      trips the execution timeout.
+    * ``sleep[:bench[:seconds]]`` — sleep (default 0.05 s) then run
+      normally; makes job durations controllable in timing tests.
+    """
+
+    KINDS = ("crash", "flaky", "die", "hang", "sleep")
+
+    def __init__(self, kind: str, benchmark: Optional[str] = None,
+                 param: Optional[float] = None):
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} "
+                             f"(expected one of {self.KINDS})")
+        self.kind = kind
+        self.benchmark = benchmark or None
+        self.param = param
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        parts = text.split(":")
+        kind = parts[0]
+        benchmark = parts[1] if len(parts) > 1 else None
+        if benchmark in ("", "*"):
+            benchmark = None
+        param = float(parts[2]) if len(parts) > 2 else None
+        return cls(kind, benchmark, param)
+
+    def __call__(self, job: SimJob, attempt: int) -> None:
+        if self.benchmark is not None and job.benchmark != self.benchmark:
+            return
+        if self.kind == "crash":
+            raise RuntimeError(
+                f"injected crash ({job.benchmark}, attempt {attempt})")
+        if self.kind == "flaky":
+            budget = 1 if self.param is None else int(self.param)
+            if attempt <= budget:
+                raise RuntimeError(
+                    f"injected flake ({job.benchmark}, attempt {attempt}"
+                    f" of {budget} failing)")
+        elif self.kind == "die":
+            os._exit(23)
+        elif self.kind == "hang":
+            time.sleep(3600.0 if self.param is None else self.param)
+        elif self.kind == "sleep":
+            time.sleep(0.05 if self.param is None else self.param)
+
+
+#: Optional callable(job, attempt) run in the worker before simulation;
+#: see :func:`set_fault_injector`.
+_FAULT_INJECTOR: Optional[Callable[[SimJob, int], None]] = None
+
+
+def set_fault_injector(
+        injector: Optional[Callable[[SimJob, int], None]]) -> None:
+    """Install (or with None remove) a fault-injection hook.
+
+    The hook runs inside the worker, before the simulation, on every
+    attempt.  It is shipped to workers by value (pickled with the job),
+    so it must be picklable — :class:`FaultSpec` instances and top-level
+    functions qualify.  Test and CI machinery only.
+    """
+    global _FAULT_INJECTOR
+    _FAULT_INJECTOR = injector
 
 
 def _available_start_method() -> Optional[str]:
@@ -79,60 +259,319 @@ def _execute_job(job: SimJob) -> JobResult:
                      wall_seconds=time.perf_counter() - started)
 
 
-def _run_serial(jobs: Sequence[SimJob],
-                timeout: Optional[float]) -> List[JobResult]:
-    results = []
-    for job in jobs:
+def _worker_main(job: SimJob, attempt: int, index: int, results,
+                 injector) -> None:
+    """Per-job worker process: report start, simulate, report outcome."""
+    pid = os.getpid()
+    started = time.perf_counter()
+    try:
+        results.put((index, attempt, "started", pid))
+        if injector is not None:
+            injector(job, attempt)
         result = _execute_job(job)
-        if timeout is not None and result.wall_seconds > timeout:
-            raise JobTimeoutError(
-                f"{job.describe()} took {result.wall_seconds:.1f}s "
-                f"(> {timeout:.1f}s timeout)"
-            )
-        results.append(result)
-    return results
+        results.put((index, attempt, "ok", result))
+    except BaseException as exc:  # noqa: BLE001 — isolation is the point
+        try:
+            results.put((index, attempt, "error",
+                         (type(exc).__name__, str(exc), pid,
+                          time.perf_counter() - started)))
+        except BaseException:
+            os._exit(1)
+
+
+def _terminate(proc) -> None:
+    """Stop a worker process, escalating SIGTERM -> SIGKILL."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(0.5)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(0.5)
+
+
+class _Running:
+    """Parent-side state of one in-flight attempt."""
+
+    __slots__ = ("proc", "attempt", "launched", "exec_started",
+                 "deadline", "dead_since")
+
+    def __init__(self, proc, attempt: int):
+        self.proc = proc
+        self.attempt = attempt
+        self.launched = time.monotonic()
+        self.exec_started: Optional[float] = None
+        self.deadline: Optional[float] = None
+        self.dead_since: Optional[float] = None
+
+
+def _run_parallel(
+    jobs: Sequence[SimJob],
+    workers: int,
+    timeout: Optional[float],
+    retries: int,
+    retry_backoff: float,
+    fail_fast: bool,
+    on_result,
+    context,
+) -> List[Union[JobResult, JobFailure]]:
+    """Slot-based scheduler: one process per attempt, deadline per job.
+
+    At most ``workers`` attempts run at once; a job's execution deadline
+    starts at its worker's "started" signal, so queue wait is never
+    charged against ``timeout``.  Outcomes are reassembled into
+    submission order regardless of completion order.
+    """
+    results_q = context.Queue()
+    injector = _FAULT_INJECTOR
+    outcomes: List[Optional[Union[JobResult, JobFailure]]] = (
+        [None] * len(jobs))
+    pending = deque((index, 1) for index in range(len(jobs)))
+    waiting: List[Tuple[float, int, int]] = []  # (ready_at, idx, attempt)
+    running: Dict[int, _Running] = {}
+
+    def completed() -> List[JobResult]:
+        return [o for o in outcomes if isinstance(o, JobResult)]
+
+    def settle(index: int, failure: JobFailure) -> None:
+        """Retry a failed attempt, or quarantine / abort the sweep."""
+        if failure.attempts <= retries:
+            delay = retry_backoff * (2.0 ** (failure.attempts - 1))
+            waiting.append((time.monotonic() + delay, index,
+                            failure.attempts + 1))
+            return
+        outcomes[index] = failure
+        if fail_fast:
+            error = (JobTimeoutError if failure.cause == "timeout"
+                     else SweepAborted)
+            raise error(failure, completed())
+
+    try:
+        while pending or waiting or running:
+            now = time.monotonic()
+            if waiting:
+                due = [entry for entry in waiting if entry[0] <= now]
+                waiting = [e for e in waiting if e[0] > now]
+                for _, index, attempt in due:
+                    pending.append((index, attempt))
+            while pending and len(running) < workers:
+                index, attempt = pending.popleft()
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(jobs[index], attempt, index, results_q,
+                          injector),
+                )
+                proc.daemon = True
+                proc.start()
+                running[index] = _Running(proc, attempt)
+            if not running:
+                time.sleep(_POLL_SECONDS)
+                continue
+            block = True
+            while True:
+                try:
+                    message = results_q.get(
+                        timeout=_POLL_SECONDS if block else 0.0)
+                except (queue_lib.Empty, OSError, EOFError):
+                    break
+                block = False
+                index, attempt, kind, payload = message
+                state = running.get(index)
+                if state is None or attempt != state.attempt:
+                    continue  # stale message from a terminated attempt
+                if kind == "started":
+                    state.exec_started = time.monotonic()
+                    if timeout is not None:
+                        state.deadline = state.exec_started + timeout
+                elif kind == "ok":
+                    del running[index]
+                    state.proc.join(5.0)
+                    payload.attempts = attempt
+                    outcomes[index] = payload
+                    if on_result is not None:
+                        on_result(payload)
+                else:  # "error"
+                    del running[index]
+                    state.proc.join(5.0)
+                    error_type, error, pid, wall = payload
+                    settle(index, JobFailure(
+                        job=jobs[index], cause="exception", error=error,
+                        error_type=error_type, attempts=attempt,
+                        wall_seconds=wall, worker_pid=pid))
+            now = time.monotonic()
+            for index, state in list(running.items()):
+                proc = state.proc
+                ran_for = now - (state.exec_started
+                                 if state.exec_started is not None
+                                 else state.launched)
+                deadline = state.deadline
+                if deadline is None and timeout is not None:
+                    deadline = state.launched + timeout + _START_GRACE_SECONDS
+                if (deadline is not None and now > deadline
+                        and proc.is_alive()):
+                    _terminate(proc)
+                    del running[index]
+                    settle(index, JobFailure(
+                        job=jobs[index], cause="timeout",
+                        error=(f"exceeded the {timeout:.1f}s per-job "
+                               f"execution timeout"),
+                        error_type="JobTimeoutError",
+                        attempts=state.attempt, wall_seconds=ran_for,
+                        worker_pid=proc.pid or 0))
+                elif not proc.is_alive():
+                    # Exited without an ok/error message: give any
+                    # in-flight message a grace period, then declare a
+                    # worker-death (OOM kill, segfault, os._exit).
+                    if state.dead_since is None:
+                        state.dead_since = now
+                    elif now - state.dead_since > _DEATH_GRACE_SECONDS:
+                        proc.join(1.0)
+                        del running[index]
+                        settle(index, JobFailure(
+                            job=jobs[index], cause="worker-death",
+                            error=(f"worker pid {proc.pid} exited with "
+                                   f"code {proc.exitcode} before "
+                                   f"returning a result"),
+                            error_type="WorkerDeath",
+                            attempts=state.attempt,
+                            wall_seconds=ran_for,
+                            worker_pid=proc.pid or 0))
+        return list(outcomes)
+    finally:
+        for state in running.values():
+            _terminate(state.proc)
+        results_q.close()
+
+
+def _run_serial(
+    jobs: Sequence[SimJob],
+    timeout: Optional[float],
+    retries: int,
+    retry_backoff: float,
+    fail_fast: bool,
+    on_result,
+) -> List[Union[JobResult, JobFailure]]:
+    injector = _FAULT_INJECTOR
+    outcomes: List[Union[JobResult, JobFailure]] = []
+
+    def completed() -> List[JobResult]:
+        return [o for o in outcomes if isinstance(o, JobResult)]
+
+    for job in jobs:
+        attempt = 1
+        while True:
+            started = time.perf_counter()
+            failure = None
+            try:
+                if injector is not None:
+                    injector(job, attempt)
+                result = _execute_job(job)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001 — isolate
+                failure = JobFailure(
+                    job=job, cause="exception", error=str(exc),
+                    error_type=type(exc).__name__, attempts=attempt,
+                    wall_seconds=time.perf_counter() - started,
+                    worker_pid=os.getpid())
+            else:
+                if timeout is not None and result.wall_seconds > timeout:
+                    # Post-hoc by construction: the job already ran to
+                    # completion in-process.  Quarantine without retry —
+                    # a deterministic job would only run long again.
+                    failure = JobFailure(
+                        job=job, cause="timeout",
+                        error=(f"took {result.wall_seconds:.1f}s "
+                               f"(> {timeout:.1f}s timeout; serial "
+                               f"timeouts are post-hoc)"),
+                        error_type="JobTimeoutError", attempts=attempt,
+                        wall_seconds=result.wall_seconds,
+                        worker_pid=os.getpid())
+                    attempt = retries + 1
+                else:
+                    result.attempts = attempt
+                    outcomes.append(result)
+                    if on_result is not None:
+                        on_result(result)
+                    break
+            if attempt <= retries:
+                delay = retry_backoff * (2.0 ** (attempt - 1))
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+                continue
+            if fail_fast:
+                error = (JobTimeoutError if failure.cause == "timeout"
+                         else SweepAborted)
+                raise error(failure, completed())
+            outcomes.append(failure)
+            break
+    return outcomes
 
 
 def run_jobs(
     jobs: Sequence[SimJob],
     workers: int = 1,
     timeout: Optional[float] = None,
-) -> List[JobResult]:
-    """Run every job; results in submission order.
+    retries: int = 0,
+    retry_backoff: float = 0.25,
+    fail_fast: bool = False,
+    on_result: Optional[Callable[[JobResult], None]] = None,
+) -> List[Union[JobResult, JobFailure]]:
+    """Run every job; outcomes in submission order.
 
     Args:
-        jobs: Job list (order is preserved in the result list).
-        workers: Process count; ``<= 1`` runs serially in-process.
-        timeout: Per-job wall-clock limit in seconds.  In the parallel
-            path this bounds the wait for each job's result (jobs run
-            concurrently, so the bound is per-result, not cumulative);
-            on expiry the pool is torn down and
-            :class:`JobTimeoutError` raised.
+        jobs: Job list (order is preserved in the outcome list).
+        workers: Concurrent worker-process count; ``<= 1`` runs serially
+            in-process.
+        timeout: Per-job wall-clock limit in seconds, charged against
+            the job's own *execution* time only — never the time it
+            spent queued behind other jobs waiting for a worker slot.
+            In the serial path the check is post-hoc (the job has
+            already completed when the overrun is observed).
+        retries: How many times a failed attempt (exception, timeout,
+            worker death) is re-run before the job is quarantined as a
+            :class:`JobFailure`; the total attempt budget is
+            ``retries + 1``.  Serial post-hoc timeouts are never
+            retried.
+        retry_backoff: Base delay in seconds before retry ``n``, scaled
+            exponentially (``retry_backoff * 2**(n-1)``).
+        fail_fast: Abort the sweep on the first quarantined job by
+            raising :class:`SweepAborted` (or its subclass
+            :class:`JobTimeoutError`), carrying every already-completed
+            result, instead of degrading gracefully.
+        on_result: Optional callback invoked in the parent, in
+            completion order, for each successful :class:`JobResult`
+            as it lands — e.g. to persist results incrementally so an
+            interrupted sweep loses nothing.
+
+    Returns:
+        One entry per job, in submission order: :class:`JobResult` for
+        successes, :class:`JobFailure` for quarantined jobs.
     """
     jobs = list(jobs)
     if not jobs:
         return []
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if retry_backoff < 0:
+        raise ValueError("retry_backoff must be >= 0")
     method = _available_start_method()
     if workers <= 1 or len(jobs) == 1 or method is None:
-        return _run_serial(jobs, timeout)
+        return _run_serial(jobs, timeout, retries, retry_backoff,
+                           fail_fast, on_result)
     context = multiprocessing.get_context(method)
-    workers = min(workers, len(jobs))
-    pool = context.Pool(processes=workers)
-    try:
-        handles = [pool.apply_async(_execute_job, (job,)) for job in jobs]
-        results: List[JobResult] = []
-        for job, handle in zip(jobs, handles):
-            try:
-                results.append(handle.get(timeout=timeout))
-            except multiprocessing.TimeoutError:
-                raise JobTimeoutError(
-                    f"{job.describe()} exceeded the "
-                    f"{timeout:.1f}s per-job timeout"
-                ) from None
-        return results
-    finally:
-        pool.terminate()
-        pool.join()
+    return _run_parallel(jobs, min(workers, len(jobs)), timeout,
+                         retries, retry_backoff, fail_fast, on_result,
+                         context)
+
+
+def split_outcomes(
+    outcomes: Sequence[Union[JobResult, JobFailure]],
+) -> Tuple[List[JobResult], List[JobFailure]]:
+    """Partition a :func:`run_jobs` outcome list into (results, failures)."""
+    results = [o for o in outcomes if isinstance(o, JobResult)]
+    failures = [o for o in outcomes if isinstance(o, JobFailure)]
+    return results, failures
 
 
 def total_wall_seconds(results: Sequence[JobResult]) -> float:

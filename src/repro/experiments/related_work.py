@@ -23,6 +23,7 @@ from repro.energy import Component
 from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
+    complete_subset,
     geomean,
     prefetch,
     run_benchmark,
@@ -51,6 +52,13 @@ def run(
     }
     prefetch([(c, b) for c in configs.values() for b in benchmarks],
              measure=measure, warmup=warmup)
+    # Cross-model sums/geomeans: drop benchmarks with quarantined jobs.
+    benchmarks = complete_subset(configs.values(), benchmarks,
+                                 measure=measure, warmup=warmup)
+    if not benchmarks:
+        raise RuntimeError(
+            "no benchmark completed on every model; nothing to "
+            "aggregate (see the failure summary)")
     base_runs = {
         bench: run_benchmark(configs["BIG"], bench, measure, warmup)
         for bench in benchmarks

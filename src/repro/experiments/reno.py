@@ -15,6 +15,7 @@ from repro.core import model_config
 from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
+    complete_subset,
     geomean,
     prefetch,
     run_benchmark,
@@ -40,6 +41,13 @@ def run(
     }
     prefetch([(c, b) for c in corners.values() for b in benchmarks],
              measure=measure, warmup=warmup)
+    # Cross-corner sums/geomeans: drop benchmarks with quarantined jobs.
+    benchmarks = complete_subset(corners.values(), benchmarks,
+                                 measure=measure, warmup=warmup)
+    if not benchmarks:
+        raise RuntimeError(
+            "no benchmark completed on every corner; nothing to "
+            "aggregate (see the failure summary)")
     base = {
         bench: run_benchmark(corners["BIG"], bench, measure, warmup)
         for bench in benchmarks

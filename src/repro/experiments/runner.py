@@ -16,6 +16,19 @@ Experiment modules declare their whole job list up front via
 :func:`prefetch`, which fans uncached jobs over N worker processes
 (:func:`set_jobs` / the CLI ``--jobs`` flag) and seeds both caches, so
 the per-benchmark ``run_benchmark`` calls that follow are pure lookups.
+
+Sweeps are fault tolerant: a job that crashes, hangs past the per-job
+timeout or kills its worker is retried per :func:`set_fault_policy` and,
+once its attempt budget is exhausted, *quarantined* — the sweep still
+completes, the failure is recorded (in-process and, when a disk cache is
+installed, as a persistent failure record), and later lookups see the
+gap instead of re-paying the crash: ``run_benchmark(..., missing_ok=
+True)`` returns None for a quarantined job, plain ``run_benchmark``
+raises :class:`JobFailedError`, and :func:`complete_subset` filters a
+benchmark list down to the rows every config has a result for.  Results
+are persisted to the disk cache as they land (completion order), so an
+interrupted sweep loses nothing and a resumed one re-runs only the
+missing or failed jobs.
 """
 
 from __future__ import annotations
@@ -24,7 +37,7 @@ import dataclasses
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core import CoreConfig, CoreStats, build_core
 from repro.core.warmup import functional_warmup
@@ -96,7 +109,29 @@ _TRACE_MEMO: Dict[Tuple, Tuple[list, list]] = {}
 #: Accounting for every job actually simulated by this process (pool
 #: fan-outs and cache-miss ``run_benchmark`` calls alike); drained by
 #: :func:`pop_job_records` for the CLI's manifest and slowest-jobs view.
+#: Holds both ``JobResult`` and (quarantined) ``JobFailure`` records.
 _JOB_RECORDS: List = []
+#: Quarantined jobs, keyed like :data:`_CACHE`; see :func:`failed_runs`.
+_FAILED: Dict[Tuple, object] = {}
+#: Fault policy applied by :func:`prefetch`; see :func:`set_fault_policy`.
+_RETRIES = 0
+_RETRY_BACKOFF = 0.25
+_FAIL_FAST = False
+_TIMEOUT: Optional[float] = None
+_RESUME = False
+
+
+class JobFailedError(RuntimeError):
+    """A requested run was quarantined as failed by the last sweep.
+
+    Raised by :func:`run_benchmark` (without ``missing_ok``) instead of
+    re-running a job the pool already crashed/hung on; ``failure`` is
+    the structured :class:`~repro.experiments.pool.JobFailure`.
+    """
+
+    def __init__(self, failure):
+        self.failure = failure
+        super().__init__(failure.describe())
 
 
 def _config_key(config: CoreConfig) -> Tuple:
@@ -160,8 +195,19 @@ def run_benchmark(
     warmup: int = DEFAULT_WARMUP,
     seed: int = 0,
     use_cache: bool = True,
-) -> BenchmarkRun:
-    """Simulate one benchmark on one core model (memory -> disk -> sim)."""
+    missing_ok: bool = False,
+) -> Optional[BenchmarkRun]:
+    """Simulate one benchmark on one core model (memory -> disk -> sim).
+
+    A job quarantined as failed (by this invocation's sweep or by a
+    persisted failure record from an earlier one) is **not** re-run:
+    with ``missing_ok`` the lookup returns None (figure modules render
+    the gap), otherwise :class:`JobFailedError` is raised.  Pass
+    ``use_cache=False`` to force a fresh in-process simulation
+    regardless of caches and quarantine records.
+    """
+    from repro.experiments.pool import JobFailure, JobResult, SimJob
+
     key = (_config_key(config), benchmark, measure, warmup, seed)
     if use_cache:
         hit = _CACHE.get(key)
@@ -172,8 +218,22 @@ def run_benchmark(
                                    seed)
             if run is not None:
                 _CACHE[key] = run
+                _FAILED.pop(key, None)
                 return run
-    from repro.experiments.pool import JobResult, SimJob
+            if key not in _FAILED and not _RESUME:
+                record = _DISK_CACHE.load_failure(
+                    config, benchmark, measure, warmup, seed)
+                if record is not None:
+                    _FAILED[key] = JobFailure.from_dict(
+                        SimJob(config=config, benchmark=benchmark,
+                               measure=measure, warmup=warmup,
+                               seed=seed),
+                        record)
+        failure = _FAILED.get(key)
+        if failure is not None:
+            if missing_ok:
+                return None
+            raise JobFailedError(failure)
 
     started = time.perf_counter()
     run = simulate(config, benchmark, measure, warmup, seed)
@@ -200,36 +260,123 @@ def prefetch(
 
     Experiment modules call this with their complete job list before
     reading any individual result: cached pairs (memory or disk) are
-    skipped, the misses fan out over :func:`set_jobs` workers, and both
-    caches are seeded so the ``run_benchmark`` calls that follow never
-    simulate.  Returns the number of jobs actually simulated.
+    skipped, the misses fan out over :func:`set_jobs` workers under the
+    :func:`set_fault_policy` retry/timeout policy, and both caches are
+    seeded so the ``run_benchmark`` calls that follow never simulate.
+    Returns the number of jobs the pool actually ran (successes plus
+    quarantined failures).
+
+    Jobs already quarantined — in this process or as a persisted disk
+    failure record — are skipped, not re-crashed; resume mode
+    (:func:`set_fault_policy` ``resume=True``) clears those records and
+    re-runs exactly the missing/failed subset.  Successful results are
+    persisted to the disk cache as they complete, so an interrupted
+    sweep (Ctrl-C, OOM) keeps everything already finished.
     """
-    from repro.experiments.pool import SimJob, run_jobs
+    from repro.experiments.pool import (
+        JobFailure,
+        SimJob,
+        SweepAborted,
+        run_jobs,
+    )
 
     todo: Dict[Tuple, SimJob] = {}
     for config, benchmark in pairs:
         key = (_config_key(config), benchmark, measure, warmup, seed)
         if key in _CACHE or key in todo:
             continue
+        if key in _FAILED:
+            if not _RESUME:
+                continue
+            _FAILED.pop(key)
+        job = SimJob(config=config, benchmark=benchmark,
+                     measure=measure, warmup=warmup, seed=seed)
         if _DISK_CACHE is not None:
             run = _DISK_CACHE.load(config, benchmark, measure, warmup,
                                    seed)
             if run is not None:
                 _CACHE[key] = run
                 continue
-        todo[key] = SimJob(config=config, benchmark=benchmark,
-                           measure=measure, warmup=warmup, seed=seed)
+            record = _DISK_CACHE.load_failure(config, benchmark,
+                                              measure, warmup, seed)
+            if record is not None:
+                if _RESUME:
+                    _DISK_CACHE.clear_failure(config, benchmark,
+                                              measure, warmup, seed)
+                else:
+                    _FAILED[key] = JobFailure.from_dict(job, record)
+                    continue
+        todo[key] = job
     if not todo:
         return 0
-    results = run_jobs(list(todo.values()), workers=_JOBS)
-    _JOB_RECORDS.extend(results)
-    for key, result in zip(todo, results):
-        _CACHE[key] = result.run
+
+    def _persist(result) -> None:
+        # Completion-order incremental store: an interrupted sweep
+        # keeps every job already finished.
         if _DISK_CACHE is not None:
-            job = todo[key]
+            job = result.job
             _DISK_CACHE.store(job.config, job.benchmark, job.measure,
                               job.warmup, job.seed, result.run)
-    return len(results)
+
+    try:
+        outcomes = run_jobs(list(todo.values()), workers=_JOBS,
+                            timeout=_TIMEOUT, retries=_RETRIES,
+                            retry_backoff=_RETRY_BACKOFF,
+                            fail_fast=_FAIL_FAST, on_result=_persist)
+    except SweepAborted as aborted:
+        # Completed results were already persisted by _persist; seed
+        # the memory cache too so the caller can salvage them.
+        _JOB_RECORDS.extend(aborted.completed)
+        _JOB_RECORDS.append(aborted.failure)
+        for result in aborted.completed:
+            job = result.job
+            _CACHE[(_config_key(job.config), job.benchmark, job.measure,
+                    job.warmup, job.seed)] = result.run
+        raise
+    _JOB_RECORDS.extend(outcomes)
+    for key, outcome in zip(todo, outcomes):
+        if isinstance(outcome, JobFailure):
+            _FAILED[key] = outcome
+            if _DISK_CACHE is not None:
+                job = outcome.job
+                _DISK_CACHE.store_failure(job.config, job.benchmark,
+                                          job.measure, job.warmup,
+                                          job.seed, outcome.to_dict())
+        else:
+            _CACHE[key] = outcome.run
+            _FAILED.pop(key, None)
+    return len(outcomes)
+
+
+def complete_subset(
+    configs: Iterable[CoreConfig],
+    benchmarks: Iterable[str],
+    measure: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 0,
+) -> List[str]:
+    """Benchmarks for which *every* config has a non-quarantined run.
+
+    Figure modules call this right after :func:`prefetch` to degrade
+    gracefully: a benchmark any model failed on is dropped from the
+    aggregates (its absence is the explicit gap) instead of crashing
+    the figure.  Pure bookkeeping — never triggers a simulation.
+    """
+    config_keys = [_config_key(config) for config in configs]
+    return [
+        benchmark for benchmark in benchmarks
+        if not any(
+            (config_key, benchmark, measure, warmup, seed) in _FAILED
+            for config_key in config_keys
+        )
+    ]
+
+
+def failed_runs() -> List:
+    """Every currently-quarantined
+    :class:`~repro.experiments.pool.JobFailure`, submission order not
+    guaranteed.  The CLI renders these as the failure summary table."""
+    return list(_FAILED.values())
 
 
 def pop_job_records() -> List:
@@ -243,6 +390,54 @@ def pop_job_records() -> List:
     records = list(_JOB_RECORDS)
     _JOB_RECORDS.clear()
     return records
+
+
+def set_fault_policy(
+    retries: int = 0,
+    retry_backoff: float = 0.25,
+    fail_fast: bool = False,
+    timeout: Optional[float] = None,
+    resume: bool = False,
+) -> None:
+    """Configure how :func:`prefetch` sweeps treat failing jobs.
+
+    Args:
+        retries: Attempts beyond the first before a job is quarantined.
+        retry_backoff: Base exponential-backoff delay between attempts.
+        fail_fast: Abort the sweep on the first quarantined job
+            (:class:`~repro.experiments.pool.SweepAborted`) instead of
+            degrading gracefully.
+        timeout: Per-job execution-time limit in seconds (None = no
+            limit); see :func:`repro.experiments.pool.run_jobs` for the
+            exact semantics.
+        resume: Retry jobs previously quarantined (clearing their
+            persisted failure records) instead of skipping them.
+
+    Calling with no arguments restores the defaults.
+    """
+    global _RETRIES, _RETRY_BACKOFF, _FAIL_FAST, _TIMEOUT, _RESUME
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if retry_backoff < 0:
+        raise ValueError("retry_backoff must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive (or None)")
+    _RETRIES = retries
+    _RETRY_BACKOFF = retry_backoff
+    _FAIL_FAST = fail_fast
+    _TIMEOUT = timeout
+    _RESUME = resume
+
+
+def get_fault_policy() -> Dict:
+    """The active :func:`set_fault_policy` settings as a plain dict."""
+    return {
+        "retries": _RETRIES,
+        "retry_backoff": _RETRY_BACKOFF,
+        "fail_fast": _FAIL_FAST,
+        "timeout": _TIMEOUT,
+        "resume": _RESUME,
+    }
 
 
 def set_jobs(jobs: int) -> None:
@@ -270,12 +465,14 @@ def get_disk_cache():
 
 
 def clear_cache() -> None:
-    """Drop all memoised runs in this process (tests use this).
+    """Drop all memoised runs and quarantined failures in this process
+    (tests use this).
 
-    Only the in-memory memo is cleared; use ``DiskCache.clear()`` to
-    purge the persistent store.
+    Only the in-memory state is cleared; use ``DiskCache.clear()`` to
+    purge the persistent store (including disk failure records).
     """
     _CACHE.clear()
+    _FAILED.clear()
 
 
 def geomean(values: Iterable[float]) -> float:

@@ -19,6 +19,7 @@ from repro.energy import Component
 from repro.experiments.runner import (
     DEFAULT_MEASURE,
     DEFAULT_WARMUP,
+    complete_subset,
     geomean,
     prefetch,
     run_benchmark,
@@ -64,6 +65,14 @@ def run(
         configs.append(_config(entries, width, True))
     prefetch([(c, b) for c in configs for b in benchmarks],
              measure=measure, warmup=warmup)
+    # The sweep compares sums/geomeans across points, so a benchmark any
+    # point's job was quarantined on is dropped whole (explicit gap).
+    benchmarks = complete_subset(configs, benchmarks,
+                                 measure=measure, warmup=warmup)
+    if not benchmarks:
+        raise RuntimeError(
+            "no benchmark completed at every sweep point; nothing to "
+            "aggregate (see the failure summary)")
     base_runs = {
         bench: run_benchmark(model_config("BIG"), bench, measure, warmup)
         for bench in benchmarks

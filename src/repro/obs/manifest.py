@@ -36,11 +36,25 @@ def host_info() -> Dict[str, str]:
 
 @dataclass
 class JobRecord:
-    """Per-job pool accounting (mirrors pool.JobResult, minus the run)."""
+    """Per-job pool accounting (mirrors pool.JobResult / pool.JobFailure,
+    minus the run payload).
+
+    ``status`` is ``"ok"`` or ``"failed"``; for failed jobs ``cause``
+    (exception / timeout / worker-death) and ``error`` carry the
+    quarantine reason, and ``attempts`` counts every retry taken.
+    """
 
     job: str                    # SimJob.describe()
     wall_seconds: float = 0.0
     worker_pid: int = 0
+    attempts: int = 1
+    status: str = "ok"
+    cause: str = ""
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -69,6 +83,8 @@ class RunManifest:
     wall_seconds: float = 0.0
     workers: int = 1
     jobs_simulated: int = 0
+    jobs_failed: int = 0
+    fault_policy: Dict[str, object] = field(default_factory=dict)
     job_records: List[JobRecord] = field(default_factory=list)
     cache: Dict[str, object] = field(default_factory=dict)
     outputs: Dict[str, str] = field(default_factory=dict)
@@ -78,6 +94,10 @@ class RunManifest:
         ordered = sorted(self.job_records,
                          key=lambda r: r.wall_seconds, reverse=True)
         return ordered[:count]
+
+    def failed_jobs(self) -> List[JobRecord]:
+        """Every quarantined job record (the sweep's explicit gaps)."""
+        return [r for r in self.job_records if not r.ok]
 
     def to_dict(self) -> Dict:
         data = asdict(self)

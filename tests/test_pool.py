@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import model_config
 from repro.experiments.pool import (
+    JobFailure,
     JobTimeoutError,
     SimJob,
     run_jobs,
@@ -56,11 +57,20 @@ class TestRunJobs:
             sum(r.wall_seconds for r in results)
         )
 
-    def test_serial_timeout_raises(self):
-        with pytest.raises(JobTimeoutError):
-            run_jobs(_jobs()[:2], workers=1, timeout=0.0)
+    def test_serial_timeout_quarantines(self):
+        outcomes = run_jobs(_jobs()[:2], workers=1, timeout=0.0)
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert isinstance(outcome, JobFailure)
+            assert outcome.cause == "timeout"
+            assert outcome.attempts == 1  # post-hoc: never retried
 
-    def test_parallel_timeout_raises(self):
+    def test_serial_timeout_fail_fast_raises(self):
+        with pytest.raises(JobTimeoutError):
+            run_jobs(_jobs()[:2], workers=1, timeout=0.0,
+                     fail_fast=True)
+
+    def test_parallel_timeout_fail_fast_raises(self):
         jobs = [
             SimJob(config=model_config("BIG"), benchmark="hmmer",
                    measure=4000, warmup=12000),
@@ -68,7 +78,7 @@ class TestRunJobs:
                    measure=4000, warmup=12000),
         ]
         with pytest.raises(JobTimeoutError):
-            run_jobs(jobs, workers=2, timeout=1e-4)
+            run_jobs(jobs, workers=2, timeout=1e-4, fail_fast=True)
 
 
 class TestPrefetchParallel:

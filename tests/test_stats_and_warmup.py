@@ -45,6 +45,27 @@ class TestFunctionalWarmup:
         assert core.hierarchy.l1d.stats.accesses == 0
         assert core.hierarchy.mem_accesses == 0
 
+    def test_all_hierarchy_event_counters_zero_after_warmup(self):
+        # Regression: ``prefetches`` was once left out of the reset, so
+        # warm-up-issued prefetches leaked into the measured interval
+        # and inflated the energy model's prefetch traffic.
+        core = build_core("BIG")
+        trace = generate_trace("lbm", 5000)  # memory-heavy: prefetches
+        hierarchy = core.hierarchy
+        # The warm-up must actually have perturbed what it claims to
+        # reset, or the assertions below are vacuous.
+        for inst in trace:
+            if inst.is_load:
+                hierarchy.load(inst.mem_addr)
+        assert hierarchy.prefetches > 0
+        functional_warmup(core, trace)
+        assert hierarchy.prefetches == 0
+        assert hierarchy.mem_accesses == 0
+        for cache in (hierarchy.l1i, hierarchy.l1d, hierarchy.l2):
+            assert cache.stats.accesses == 0
+            assert cache.stats.misses == 0
+            assert cache.stats.writebacks == 0
+
     def test_warmup_trains_predictor(self):
         trace = generate_trace("hmmer", 6000)
         cold = build_core("BIG")
