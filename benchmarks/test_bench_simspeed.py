@@ -84,6 +84,37 @@ def test_bench_obs_disabled_overhead(benchmark):
     )
 
 
+def test_bench_timeline_disabled_overhead(benchmark):
+    """Guard: interval timeline telemetry must be free when off.
+
+    The timeline collector rides the same per-cycle observability hook,
+    so an unobserved run still pays only the one ``is None`` test.
+    This times the simspeed mix without observability against the same
+    mix with a timeline-only bundle (interval sampling, occupancy
+    accumulation, per-interval energy pricing) and asserts the disabled
+    path is at least as fast — within the 5 % timing-noise allowance.
+    """
+    from repro.obs import TimelineCollector
+
+    def timeline_bundle():
+        return Observability(metrics=False, stalls=False,
+                             timeline=TimelineCollector())
+
+    _simulate_mix(MEASURE, WARMUP)  # warm the per-process trace memo
+    disabled = run_once(benchmark, _time_mix, None)
+    enabled = _time_mix(timeline_bundle)
+    overhead = disabled / enabled - 1.0
+    if benchmark.stats is not None:
+        benchmark.extra_info["disabled_seconds"] = disabled
+        benchmark.extra_info["timeline_seconds"] = enabled
+        benchmark.extra_info["disabled_vs_timeline_overhead"] = overhead
+    assert overhead < 0.05, (
+        f"timeline-disabled run was {overhead:.1%} slower than a "
+        f"timeline-observed run; the disabled path must do no sampling "
+        f"work (expected < 5%)"
+    )
+
+
 def test_bench_validate_disabled_overhead(benchmark):
     """Guard: differential validation must be free when off.
 

@@ -162,10 +162,11 @@ class ClusteredCore(OutOfOrderCore):
             if preg in self.renamer.free[cls]:
                 del self._preg_cluster[(cls, preg)]
 
-    def _collect_events(self) -> None:
-        super()._collect_events()
-        events = self.stats.events
+    def snapshot_events(self):
+        # += is safe: the base snapshot is a fresh object every call.
+        events = super().snapshot_events()
         events.fu_int_ops += sum(
             pool.executions for pool in self.cluster_int_fus
         )
         events.intercluster_forwards = self.intercluster_forwards
+        return events

@@ -275,9 +275,9 @@ class FXACore(OutOfOrderCore):
         )
         return max(entry.complete_cycle, exit_cycle) + 1
 
-    def _collect_events(self) -> None:
-        super()._collect_events()
-        events = self.stats.events
+    def snapshot_events(self):
+        events = super().snapshot_events()
         events.ixu_ops = self._ixu_exec_count
         events.ixu_mem_ops = self._ixu_mem_exec_count
         events.ixu_bypass_broadcasts = self.ixu_bypass.broadcasts
+        return events

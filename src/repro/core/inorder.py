@@ -18,7 +18,7 @@ from repro.backend import BypassNetwork, FUPool
 from repro.branch import BranchPredictor
 from repro.core.config import CoreConfig
 from repro.core.inflight import InFlight
-from repro.core.stats import CoreStats
+from repro.core.stats import CoreStats, EventCounts
 from repro.isa.instruction import DynInst
 from repro.isa.opclass import FUType, FU_FOR_OPCLASS, LATENCY, OpClass
 from repro.isa.registers import Reg
@@ -342,9 +342,14 @@ class InOrderCore:
 
     # ------------------------------------------------------------------
 
-    def _collect_events(self) -> None:
-        events = self.stats.events
-        events.cycles = self.stats.cycles
+    def snapshot_events(self) -> EventCounts:
+        """Fresh :class:`EventCounts` from the live counters (see
+        ``OutOfOrderCore.snapshot_events``).  Mid-run the reported
+        drain-extended cycle count is not known yet, so ``cycles``
+        falls back to the live tick."""
+        events = EventCounts()
+        events.cycles = self.stats.cycles or self.cycle
+        events.wrongpath_ops = self.stats.events.wrongpath_ops
         events.fetched = self.stats.fetched
         events.decoded = self.stats.fetched
         events.prf_reads = self._rf_reads
@@ -365,3 +370,7 @@ class InOrderCore:
         events.l2_misses = l2.stats.misses
         events.mem_accesses = self.hierarchy.mem_accesses
         events.prefetches = self.hierarchy.prefetches
+        return events
+
+    def _collect_events(self) -> None:
+        self.stats.events = self.snapshot_events()

@@ -39,7 +39,7 @@ from repro.backend import (
 from repro.branch import BranchPredictor
 from repro.core.config import CoreConfig
 from repro.core.inflight import InFlight
-from repro.core.stats import CoreStats
+from repro.core.stats import CoreStats, EventCounts
 from repro.isa.instruction import DynInst
 from repro.isa.opclass import FUType, FU_FOR_OPCLASS, LATENCY, OpClass
 from repro.mem.hierarchy import CacheHierarchy
@@ -682,9 +682,19 @@ class OutOfOrderCore:
     # Event collection for the energy model
     # ------------------------------------------------------------------
 
-    def _collect_events(self) -> None:
-        events = self.stats.events
+    def snapshot_events(self) -> EventCounts:
+        """Fresh :class:`EventCounts` read from the live counters.
+
+        Callable mid-run (the timeline collector deltas successive
+        snapshots at interval boundaries) as well as at the end of the
+        run; each call builds a new object, so calling it twice never
+        double-counts.  ``wrongpath_ops`` is the one count accumulated
+        on ``stats.events`` during the run rather than on a live
+        structure, so it is copied across.
+        """
+        events = EventCounts()
         events.cycles = self.cycle
+        events.wrongpath_ops = self.stats.events.wrongpath_ops
         events.fetched = self.stats.fetched
         events.decoded = self.stats.fetched
         events.iq_dispatches = self.iq.dispatches
@@ -727,5 +737,9 @@ class OutOfOrderCore:
         events.l2_misses = l2.stats.misses
         events.mem_accesses = self.hierarchy.mem_accesses
         events.prefetches = self.hierarchy.prefetches
+        return events
+
+    def _collect_events(self) -> None:
+        self.stats.events = self.snapshot_events()
         self.stats.iq_mean_occupancy = self.iq.mean_occupancy
         self.stats.forwarded_loads = self.lsq.stats.forwarded_loads

@@ -73,6 +73,14 @@ class EventCounts:
         known = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 
+    def delta(self, since: "EventCounts") -> "EventCounts":
+        """Field-wise ``self - since``: the events of the interval
+        between two snapshots (used by the timeline collector)."""
+        return EventCounts(**{
+            f.name: getattr(self, f.name) - getattr(since, f.name)
+            for f in fields(self)
+        })
+
 
 @dataclass
 class CoreStats:

@@ -143,7 +143,15 @@ class EnergyModel:
 
     def evaluate(self, stats: CoreStats) -> EnergyBreakdown:
         """Price one run's events into a component breakdown."""
-        events = stats.events
+        return self.price_events(stats.events,
+                                 benchmark=stats.benchmark,
+                                 committed=stats.committed)
+
+    def price_events(self, events: EventCounts,
+                     benchmark: str = "",
+                     committed: int = 0) -> EnergyBreakdown:
+        """Price a bare :class:`EventCounts` (a whole run's totals or
+        one timeline interval's delta) into a component breakdown."""
         params = self.params
         config = self.config
         dynamic: Dict[Component, float] = {c: 0.0 for c in Component}
@@ -230,9 +238,9 @@ class EnergyModel:
 
         return EnergyBreakdown(
             model=config.name,
-            benchmark=stats.benchmark,
+            benchmark=benchmark,
             cycles=events.cycles,
-            committed=stats.committed,
+            committed=committed,
             dynamic=dynamic,
             static=static,
         )

@@ -15,13 +15,26 @@ costs no simulation at all.  ``--no-cache`` forces re-simulation.
 Observability (see :mod:`repro.obs`)::
 
     fxa-experiments headline --stall-report --benchmarks hmmer mcf
-    fxa-experiments headline --pipeview trace.kanata --pipeview-window 500
+    fxa-experiments headline --stall-report-csv stalls.csv
+    fxa-experiments headline --metrics-json metrics.json
+    fxa-experiments headline --pipeview trace.kanata.gz
+    fxa-experiments headline --timeline tl.json --timeline-report
     fxa-experiments headline --json out.json   # + out.manifest.json
 
 ``--stall-report`` appends a where-did-the-cycles-go breakdown per
-model, ``--pipeview`` writes a Kanata pipeline trace loadable by the
-Konata visualiser, and every ``--json`` run also emits a provenance
-manifest (``--manifest PATH`` writes one explicitly).
+model (``--stall-report-csv`` / ``--metrics-json`` write the same pass
+machine-readably), ``--pipeview`` writes a Kanata pipeline trace
+loadable by the Konata visualiser (gzipped when the path ends ``.gz``),
+``--timeline`` exports interval telemetry of all four core types as
+Perfetto-loadable JSON (``--timeline-report`` prints the terminal phase
+view), and every ``--json`` run also emits a provenance manifest
+(``--manifest PATH`` writes one explicitly).
+
+Regression gating (see :mod:`repro.obs.diffrun`)::
+
+    fxa-experiments headline --baseline old.manifest.json  # exit 3
+    fxa-experiments headline --trajectory BENCH_trajectory.json
+    repro-exp diff old.manifest.json new.manifest.json
 """
 
 from __future__ import annotations
@@ -48,14 +61,26 @@ from repro.experiments.pool import (
     total_wall_seconds,
 )
 from repro.obs import (
+    DEFAULT_INTERVAL,
     JobRecord,
     KanataWriter,
     Observability,
     RunManifest,
+    STALL_CAUSES,
+    TimelineCollector,
     format_stall_chart,
     format_stall_table,
+    format_timeline_report,
     manifest_path_for,
 )
+from repro.obs.diffrun import (
+    DiffThresholds,
+    EXIT_REGRESSION,
+    append_trajectory,
+    diff_manifests,
+    format_diff_report,
+)
+from repro.obs.traceevent import TraceEventWriter
 from repro.workloads import ALL_BENCHMARKS
 
 #: Models the observability passes simulate ("CA" included: the
@@ -98,30 +123,38 @@ def _run_one(name: str, benchmarks: Optional[List[str]],
     return text, results
 
 
-def _stall_report(benchmarks: Optional[List[str]], measure: int,
-                  warmup: int) -> str:
-    """Simulate every model with stall attribution on and render the
-    "where did the cycles go" table plus a stacked chart.
+def _obs_pass(benchmarks: Optional[List[str]], measure: int,
+              warmup: int, with_metrics: bool) -> Dict:
+    """One observed re-simulation of every model, shared by
+    ``--stall-report``, ``--stall-report-csv`` and ``--metrics-json``.
 
     Observed runs bypass both caches (the cached records were produced
     without attribution), so this re-simulates; prefer a ``--benchmarks``
-    subset for interactive use.
+    subset for interactive use.  Returns {(model, benchmark):
+    CoreStats}; metrics histograms are only collected when something
+    will consume them.
     """
-    reports: Dict[str, Dict[str, int]] = {}
-    cycles: Dict[str, int] = {}
+    observed: Dict = {}
     for model in _OBS_MODELS:
         config = model_config(model)
-        counts: Dict[str, int] = {}
-        total = 0
         for benchmark in benchmarks or ALL_BENCHMARKS:
-            obs = Observability(metrics=False)
+            obs = Observability(metrics=with_metrics)
             run = runner.simulate(config, benchmark, measure, warmup,
                                   obs=obs)
-            for cause, value in run.stats.stalls.items():
-                counts[cause] = counts.get(cause, 0) + value
-            total += run.stats.cycles
-        reports[model] = counts
-        cycles[model] = total
+            observed[(model, benchmark)] = run.stats
+    return observed
+
+
+def _format_stall_report(observed: Dict,
+                         benchmarks: Optional[List[str]]) -> str:
+    """Render the "where did the cycles go" table plus stacked chart."""
+    reports: Dict[str, Dict[str, int]] = {}
+    cycles: Dict[str, int] = {}
+    for (model, _benchmark), stats in observed.items():
+        counts = reports.setdefault(model, {})
+        for cause, value in stats.stalls.items():
+            counts[cause] = counts.get(cause, 0) + value
+        cycles[model] = cycles.get(model, 0) + stats.cycles
     suite = ", ".join(benchmarks) if benchmarks else "all benchmarks"
     return (
         format_stall_table(
@@ -130,6 +163,116 @@ def _stall_report(benchmarks: Optional[List[str]], measure: int,
         + "\n\n"
         + format_stall_chart(reports, title="Stall cycles by cause")
     )
+
+
+def _write_stall_csv(observed: Dict, path: str) -> None:
+    """Machine-readable stall attribution: one row per observed run,
+    one column per taxonomy cause (fixed schema, dashboards can rely
+    on the header)."""
+    import csv
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["model", "benchmark", "cycles", "committed",
+                         "stall_cycles", *STALL_CAUSES])
+        for (model, benchmark), stats in observed.items():
+            writer.writerow([
+                model, benchmark, stats.cycles, stats.committed,
+                stats.stall_cycles,
+                *(stats.stalls.get(cause, 0) for cause in STALL_CAUSES),
+            ])
+
+
+def _write_metrics_json(observed: Dict, path: str) -> None:
+    """Full metrics registry (counters + occupancy histograms) per
+    observed run, as JSON."""
+    payload = [
+        {
+            "model": model,
+            "benchmark": benchmark,
+            "cycles": stats.cycles,
+            "committed": stats.committed,
+            "ipc": stats.ipc,
+            "stalls": stats.stalls,
+            "metrics": stats.metrics,
+        }
+        for (model, benchmark), stats in observed.items()
+    ]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+#: The four core types the timeline pass samples (one per
+#: microarchitecture: in-order, out-of-order, FXA, clustered).
+_TIMELINE_MODELS = ("LITTLE", "HALF", "HALF+FX", "CA")
+
+
+def _timeline_pass(args, started_clock: float):
+    """Serially simulate the four core types with interval telemetry on.
+
+    Serial and in-process by design: the samples must be identical
+    whatever ``--jobs`` says.  Returns (collectors, host-span dicts for
+    the Perfetto export, timed per simulated model).
+    """
+    benchmark = args.timeline_benchmark or (
+        args.benchmarks[0] if args.benchmarks else "hmmer"
+    )
+    collectors = []
+    spans = []
+    for model in _TIMELINE_MODELS:
+        collector = TimelineCollector(interval=args.interval)
+        obs = Observability(metrics=False, stalls=False,
+                            timeline=collector)
+        begin = time.time()
+        runner.simulate(model_config(model), benchmark, args.measure,
+                        args.warmup, obs=obs)
+        collector.benchmark = benchmark
+        spans.append({
+            "name": f"timeline sim {model}/{benchmark}",
+            "ts": (begin - started_clock) * 1e6,
+            "dur": (time.time() - begin) * 1e6,
+        })
+        collectors.append(collector)
+    return collectors, spans
+
+
+def _build_aggregates(served, job_records, observed: Dict) -> List[Dict]:
+    """Manifest aggregates: one entry per (model, benchmark) run the
+    sweep served (cache replays included).
+
+    ``wall_seconds``/``insts_per_second`` come from the job records of
+    freshly simulated jobs (0.0 for cache replays); the stall mix is
+    taken from the observed pass when one ran.
+    """
+    wall: Dict = {}
+    for record in job_records:
+        if record.ok:
+            wall[(record.job.config.name, record.job.benchmark)] = (
+                record.wall_seconds)
+    entries = []
+    for run in sorted(served, key=lambda r: (r.model, r.benchmark)):
+        key = (run.model, run.benchmark)
+        wall_seconds = wall.get(key, 0.0)
+        observed_stats = observed.get(key)
+        stalls = (observed_stats.stalls if observed_stats is not None
+                  else run.stats.stalls)
+        entries.append({
+            "model": run.model,
+            "benchmark": run.benchmark,
+            "ipc": run.ipc,
+            "cycles": run.stats.cycles,
+            "committed": run.stats.committed,
+            "energy_total": run.total_energy,
+            "energy_per_instruction":
+                run.energy.energy_per_instruction,
+            "stalls": dict(stalls),
+            "wall_seconds": wall_seconds,
+            "insts_per_second": (
+                run.stats.committed / wall_seconds
+                if wall_seconds else 0.0),
+        })
+    return entries
 
 
 def _write_pipeview(args) -> str:
@@ -302,9 +445,59 @@ def main(argv: Optional[List[str]] = None) -> int:
              "cycles go); re-simulates with attribution enabled.",
     )
     parser.add_argument(
+        "--stall-report-csv", metavar="PATH", default=None,
+        help="Write the stall-cause breakdown as CSV (one row per "
+             "model/benchmark, one column per cause); shares the "
+             "--stall-report simulation pass.",
+    )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="Write the full metrics registry (counters + occupancy "
+             "histograms) of an observed pass as JSON.",
+    )
+    parser.add_argument(
+        "--timeline", metavar="PATH", default=None,
+        help="Export interval telemetry of all four core types as "
+             "Chrome-trace-event JSON (load at https://ui.perfetto.dev),"
+             " including host wall-clock spans per harness stage and "
+             "sweep job.",
+    )
+    parser.add_argument(
+        "--timeline-report", action="store_true",
+        help="Print the terminal timeline phase view (IPC/energy "
+             "sparklines + detected phases).",
+    )
+    parser.add_argument(
+        "--interval", type=int, default=DEFAULT_INTERVAL, metavar="N",
+        help="Committed instructions per timeline sample "
+             f"(default {DEFAULT_INTERVAL}).",
+    )
+    parser.add_argument(
+        "--timeline-benchmark", default=None,
+        help="Benchmark the timeline pass simulates (default: first "
+             "--benchmarks entry, else hmmer).",
+    )
+    parser.add_argument(
+        "--baseline", metavar="MANIFEST", default=None,
+        help="Diff this run's manifest against a baseline manifest and "
+             f"exit {EXIT_REGRESSION} if IPC/energy regressed past "
+             "--diff-threshold.",
+    )
+    parser.add_argument(
+        "--diff-threshold", type=float, default=None, metavar="FRAC",
+        help="Relative IPC/energy regression tolerance for --baseline "
+             "(default 0.02 = 2%%).",
+    )
+    parser.add_argument(
+        "--trajectory", metavar="PATH", default=None,
+        help="Append this run's per-model aggregates to a JSON history "
+             "(e.g. BENCH_trajectory.json) for cross-run trend plots.",
+    )
+    parser.add_argument(
         "--pipeview", metavar="PATH", default=None,
         help="Write a Kanata pipeline trace (Konata-loadable) of one "
-             "observed simulation to PATH.",
+             "observed simulation to PATH (gzipped when PATH ends "
+             "in .gz).",
     )
     parser.add_argument(
         "--pipeview-window", type=int, default=2000, metavar="N",
@@ -376,9 +569,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"unknown --pipeview-benchmark: {args.pipeview_benchmark}")
     if args.pipeview_window < 1:
         parser.error("--pipeview-window must be >= 1")
+    if args.interval < 1:
+        parser.error("--interval must be >= 1")
+    if (args.timeline_benchmark
+            and args.timeline_benchmark not in ALL_BENCHMARKS):
+        parser.error(
+            f"unknown --timeline-benchmark: {args.timeline_benchmark}")
+    if args.diff_threshold is not None and args.diff_threshold <= 0:
+        parser.error("--diff-threshold must be positive")
+    baseline_manifest = None
+    if args.baseline:
+        try:
+            baseline_manifest = RunManifest.read(args.baseline)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            parser.error(f"--baseline: cannot load {args.baseline}: "
+                         f"{error}")
+        if not baseline_manifest.aggregates:
+            parser.error(f"--baseline: {args.baseline} has no "
+                         "aggregates (older harness version?)")
     started_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     started_clock = time.time()
     runner.pop_job_records()  # drain stale accounting (tests, REPLs)
+    runner.pop_served_runs()
     runner.set_jobs(args.jobs)
     runner.set_fault_policy(retries=args.retries,
                             retry_backoff=args.retry_backoff,
@@ -393,24 +605,82 @@ def main(argv: Optional[List[str]] = None) -> int:
         runner.set_disk_cache(DiskCache(args.cache_dir))
     todo = names if args.experiment == "all" else [args.experiment]
     collected = {}
+    stage_spans: List[Dict] = []  # harness stages, for the Perfetto view
+
+    def _staged(name: str, began: float) -> None:
+        stage_spans.append({
+            "name": name,
+            "ts": (began - started_clock) * 1e6,
+            "dur": (time.time() - began) * 1e6,
+            "tid": 1,
+        })
+
     try:
         for name in todo:
             started = time.time()
             text, results = _run_one(name, args.benchmarks, args.measure,
                                      args.warmup, chart=args.chart)
+            _staged(f"experiment {name}", started)
             print(text)
             print(f"[{name}: {time.time() - started:.1f}s]")
             print()
             collected[name] = results
+        observed: Dict = {}
+        if (args.stall_report or args.stall_report_csv
+                or args.metrics_json):
+            started = time.time()
+            observed = _obs_pass(args.benchmarks, args.measure,
+                                 args.warmup,
+                                 with_metrics=bool(args.metrics_json))
+            _staged("observability pass", started)
         if args.stall_report:
-            print(_stall_report(args.benchmarks, args.measure,
-                                args.warmup))
+            print(_format_stall_report(observed, args.benchmarks))
+            print()
+        if args.stall_report_csv:
+            _write_stall_csv(observed, args.stall_report_csv)
+            print(f"stall report CSV written to {args.stall_report_csv}")
+        if args.metrics_json:
+            _write_metrics_json(observed, args.metrics_json)
+            print(f"metrics written to {args.metrics_json}")
+        timeline_collectors = []
+        timeline_spans: List[Dict] = []
+        if args.timeline or args.timeline_report:
+            started = time.time()
+            timeline_collectors, timeline_spans = _timeline_pass(
+                args, started_clock)
+            _staged("timeline pass", started)
+        if args.timeline_report:
+            print(format_timeline_report(timeline_collectors))
             print()
         pipeview_note = None
         if args.pipeview:
+            started = time.time()
             pipeview_note = _write_pipeview(args)
+            _staged("pipeview pass", started)
             print(pipeview_note)
         job_records = runner.pop_job_records()
+        served_runs = runner.pop_served_runs()
+        if args.timeline:
+            writer = TraceEventWriter()
+            for collector in timeline_collectors:
+                writer.add_timeline(collector)
+            for span in stage_spans + timeline_spans:
+                writer.add_span(span["name"], span["ts"], span["dur"],
+                                tid=span.get("tid", 0))
+            for record in job_records:
+                began = getattr(record, "started_ts", 0.0)
+                if not began:
+                    continue
+                writer.add_span(
+                    f"job {record.job.describe()}",
+                    (began - started_clock) * 1e6,
+                    record.wall_seconds * 1e6,
+                    tid=record.worker_pid,
+                    args={"attempts": record.attempts,
+                          "ok": record.ok})
+            writer.write(args.timeline)
+            print(f"timeline trace written to {args.timeline} "
+                  f"(load at https://ui.perfetto.dev)")
         if job_records:
             _print_job_summary(job_records)
         failures = runner.failed_runs()
@@ -448,44 +718,65 @@ def main(argv: Optional[List[str]] = None) -> int:
         manifest_paths.append(args.manifest_path)
     if args.json_path:
         manifest_paths.append(manifest_path_for(args.json_path))
-    if manifest_paths:
-        outputs = {}
-        if args.json_path:
-            outputs["json"] = args.json_path
-        if args.pipeview:
-            outputs["pipeview"] = args.pipeview
-        manifest = RunManifest(
-            command=list(sys.argv[1:] if argv is None else argv),
-            experiments=todo,
-            benchmarks=args.benchmarks,
-            measure=args.measure,
-            warmup=args.warmup,
-            seed=0,
-            code_version=code_version(),
-            repro_version=repro.__version__,
-            started_at=started_at,
-            finished_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-            wall_seconds=time.time() - started_clock,
-            workers=args.jobs,
-            jobs_simulated=sum(1 for r in job_records if r.ok),
-            jobs_failed=sum(1 for r in job_records if not r.ok),
-            fault_policy=fault_policy,
-            job_records=[
-                JobRecord(job=r.job.describe(),
-                          wall_seconds=r.wall_seconds,
-                          worker_pid=r.worker_pid,
-                          attempts=r.attempts,
-                          status="ok" if r.ok else "failed",
-                          cause=getattr(r, "cause", ""),
-                          error=getattr(r, "error", ""))
-                for r in job_records
-            ],
-            cache=cache_counts,
-            outputs=outputs,
-        )
-        for path in manifest_paths:
-            manifest.write(path)
-            print(f"run manifest written to {path}")
+    outputs = {}
+    if args.json_path:
+        outputs["json"] = args.json_path
+    if args.pipeview:
+        outputs["pipeview"] = args.pipeview
+    if args.timeline:
+        outputs["timeline"] = args.timeline
+    if args.stall_report_csv:
+        outputs["stall_report_csv"] = args.stall_report_csv
+    if args.metrics_json:
+        outputs["metrics_json"] = args.metrics_json
+    # Built even with no --manifest/--json: --baseline diffs it and
+    # --trajectory appends it.
+    manifest = RunManifest(
+        command=list(sys.argv[1:] if argv is None else argv),
+        experiments=todo,
+        benchmarks=args.benchmarks,
+        measure=args.measure,
+        warmup=args.warmup,
+        seed=0,
+        code_version=code_version(),
+        repro_version=repro.__version__,
+        started_at=started_at,
+        finished_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        wall_seconds=time.time() - started_clock,
+        workers=args.jobs,
+        jobs_simulated=sum(1 for r in job_records if r.ok),
+        jobs_failed=sum(1 for r in job_records if not r.ok),
+        fault_policy=fault_policy,
+        job_records=[
+            JobRecord(job=r.job.describe(),
+                      wall_seconds=r.wall_seconds,
+                      worker_pid=r.worker_pid,
+                      attempts=r.attempts,
+                      status="ok" if r.ok else "failed",
+                      cause=getattr(r, "cause", ""),
+                      error=getattr(r, "error", ""),
+                      started_ts=getattr(r, "started_ts", 0.0))
+            for r in job_records
+        ],
+        cache=cache_counts,
+        outputs=outputs,
+        aggregates=_build_aggregates(served_runs, job_records, observed),
+    )
+    for path in manifest_paths:
+        manifest.write(path)
+        print(f"run manifest written to {path}")
+    if args.trajectory:
+        append_trajectory(manifest, args.trajectory)
+        print(f"trajectory appended to {args.trajectory}")
+    if baseline_manifest is not None:
+        thresholds = DiffThresholds()
+        if args.diff_threshold is not None:
+            thresholds.ipc = thresholds.energy = args.diff_threshold
+        report = diff_manifests(baseline_manifest, manifest, thresholds)
+        print(format_diff_report(report, base_label=args.baseline,
+                                 new_label="this run"))
+        if not report.ok:
+            return EXIT_REGRESSION
     return 0
 
 

@@ -81,6 +81,7 @@ class JobResult:
     wall_seconds: float = 0.0
     worker_pid: int = field(default_factory=os.getpid)
     attempts: int = 1
+    started_ts: float = 0.0      # host wall clock (time.time) at start
 
     @property
     def ok(self) -> bool:
@@ -252,11 +253,13 @@ def _execute_job(job: SimJob) -> JobResult:
     """Worker body: simulate one job (no caching — the parent caches)."""
     from repro.experiments.runner import simulate
 
+    started_ts = time.time()
     started = time.perf_counter()
     run = simulate(job.config, job.benchmark, job.measure, job.warmup,
                    job.seed)
     return JobResult(job=job, run=run,
-                     wall_seconds=time.perf_counter() - started)
+                     wall_seconds=time.perf_counter() - started,
+                     started_ts=started_ts)
 
 
 def _worker_main(job: SimJob, attempt: int, index: int, results,

@@ -113,6 +113,12 @@ _TRACE_MEMO: Dict[Tuple, Tuple[list, list]] = {}
 _JOB_RECORDS: List = []
 #: Quarantined jobs, keyed like :data:`_CACHE`; see :func:`failed_runs`.
 _FAILED: Dict[Tuple, object] = {}
+#: Every run :func:`run_benchmark` served since the last drain — from
+#: the memory cache, the disk cache, or a fresh simulation alike.  The
+#: CLI drains it via :func:`pop_served_runs` to build the manifest's
+#: per-(model, benchmark) aggregates, which must also cover sweeps that
+#: replayed entirely from cache.
+_SERVED: Dict[Tuple, BenchmarkRun] = {}
 #: Fault policy applied by :func:`prefetch`; see :func:`set_fault_policy`.
 _RETRIES = 0
 _RETRY_BACKOFF = 0.25
@@ -212,6 +218,7 @@ def run_benchmark(
     if use_cache:
         hit = _CACHE.get(key)
         if hit is not None:
+            _SERVED[key] = hit
             return hit
         if _DISK_CACHE is not None:
             run = _DISK_CACHE.load(config, benchmark, measure, warmup,
@@ -219,6 +226,7 @@ def run_benchmark(
             if run is not None:
                 _CACHE[key] = run
                 _FAILED.pop(key, None)
+                _SERVED[key] = run
                 return run
             if key not in _FAILED and not _RESUME:
                 record = _DISK_CACHE.load_failure(
@@ -235,13 +243,16 @@ def run_benchmark(
                 return None
             raise JobFailedError(failure)
 
+    started_ts = time.time()
     started = time.perf_counter()
     run = simulate(config, benchmark, measure, warmup, seed)
     _JOB_RECORDS.append(JobResult(
         job=SimJob(config=config, benchmark=benchmark, measure=measure,
                    warmup=warmup, seed=seed),
         run=run, wall_seconds=time.perf_counter() - started,
+        started_ts=started_ts,
     ))
+    _SERVED[key] = run
     if use_cache:
         _CACHE[key] = run
         if _DISK_CACHE is not None:
@@ -392,6 +403,19 @@ def pop_job_records() -> List:
     return records
 
 
+def pop_served_runs() -> List[BenchmarkRun]:
+    """Drain every :class:`BenchmarkRun` served since the last drain
+    (cache replays included), deduplicated per job key.
+
+    The CLI builds the manifest's per-(model, benchmark) aggregates
+    from this, so a warm-cache invocation still records what its tables
+    were computed from.
+    """
+    runs = list(_SERVED.values())
+    _SERVED.clear()
+    return runs
+
+
 def set_fault_policy(
     retries: int = 0,
     retry_backoff: float = 0.25,
@@ -473,6 +497,7 @@ def clear_cache() -> None:
     """
     _CACHE.clear()
     _FAILED.clear()
+    _SERVED.clear()
 
 
 def geomean(values: Iterable[float]) -> float:

@@ -122,6 +122,36 @@ def stacked_chart(
     return "\n".join(lines)
 
 
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line trend of ``values`` (the ``--timeline-report`` view).
+
+    More values than ``width`` are bucketed by averaging so long
+    timelines still fit on a line; a flat series renders mid-height.
+    """
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        bucketed = []
+        for index in range(width):
+            begin = index * len(values) // width
+            end = max(begin + 1, (index + 1) * len(values) // width)
+            chunk = values[begin:end]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARKS[len(_SPARKS) // 2] * len(values)
+    top = len(_SPARKS) - 1
+    return "".join(
+        _SPARKS[int((value - low) / span * top)] for value in values
+    )
+
+
 def series_chart(
     series: Mapping[str, Mapping[int, float]],
     title: str = "",

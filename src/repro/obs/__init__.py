@@ -11,6 +11,10 @@ package adds the *why* behind those aggregates, at three granularities:
   to a fixed cause taxonomy (where did the cycles go);
 * :mod:`repro.obs.pipeview` — per-instruction pipeline-stage traces in
   the Kanata format the Konata visualiser loads;
+* :mod:`repro.obs.timeline` — interval telemetry (IPC/stalls/occupancy/
+  IXU coverage/energy every N committed instructions), with a terminal
+  phase report, a Perfetto exporter (:mod:`repro.obs.traceevent`), and
+  a cross-run regression differ (:mod:`repro.obs.diffrun`);
 * :mod:`repro.obs.manifest` — a provenance JSON for whole harness
   invocations (config, code hash, host, pool accounting, cache counts).
 
@@ -54,6 +58,13 @@ from repro.obs.stall import (
     format_stall_chart,
     format_stall_table,
 )
+from repro.obs.timeline import (
+    DEFAULT_INTERVAL,
+    IntervalSample,
+    TimelineCollector,
+    detect_phases,
+    format_timeline_report,
+)
 
 
 class Observability:
@@ -64,17 +75,23 @@ class Observability:
         stalls: Attribute every zero-commit cycle to a stall cause.
         pipeview: A :class:`KanataWriter` to stream per-instruction
             pipeline stages into (None = no trace).
+        timeline: A :class:`TimelineCollector` to snapshot interval
+            telemetry into (None = no timeline).
 
     One instance observes one core for one run; the core calls
     :meth:`attach` when built and :meth:`finalize` when its ``run``
     completes, which copies the collected data onto ``core.stats``.
+    (Timeline samples stay on the collector, not on ``stats``, so an
+    observed run's ``CoreStats`` round trip is unchanged.)
     """
 
     def __init__(self, metrics: bool = True, stalls: bool = True,
-                 pipeview: Optional[KanataWriter] = None):
+                 pipeview: Optional[KanataWriter] = None,
+                 timeline: Optional[TimelineCollector] = None):
         self.metrics = MetricsRegistry() if metrics else None
         self.stalls = StallCollector() if stalls else None
         self.pipeview = pipeview
+        self.timeline = timeline
         self.commit_cycles = 0
         self._attached = False
         self._iq_hist = None
@@ -93,6 +110,8 @@ class Observability:
                 "build a fresh one per simulation"
             )
         self._attached = True
+        if self.timeline is not None:
+            self.timeline.attach(core)
         metrics = self.metrics
         if metrics is None:
             return
@@ -113,10 +132,17 @@ class Observability:
 
     def on_cycle(self, core, committed: int) -> None:
         """Per-cycle sampling hook (the cores call this once per tick)."""
+        cause = None
         if committed:
             self.commit_cycles += 1
-        elif self.stalls is not None:
-            self.stalls.charge(core._stall_cause())
+        elif self.stalls is not None or self.timeline is not None:
+            # _stall_cause only reads core state, so computing it for
+            # the timeline keeps the simulated results bit-identical.
+            cause = core._stall_cause()
+            if self.stalls is not None:
+                self.stalls.charge(cause)
+        if self.timeline is not None:
+            self.timeline.on_cycle(core, committed, cause)
         if self.metrics is not None:
             iq_hist = self._iq_hist
             if iq_hist is not None:
@@ -133,6 +159,8 @@ class Observability:
     def finalize(self, core) -> None:
         """Harvest per-core counters and publish onto ``core.stats``."""
         stats = core.stats
+        if self.timeline is not None:
+            self.timeline.finalize(core)
         if self.stalls is not None:
             # The in-order core's reported cycle count extends past its
             # last tick to drain in-flight completions; charge that tail
@@ -186,6 +214,11 @@ __all__ = [
     "STALL_CAUSES",
     "format_stall_chart",
     "format_stall_table",
+    "DEFAULT_INTERVAL",
+    "IntervalSample",
+    "TimelineCollector",
+    "detect_phases",
+    "format_timeline_report",
     "KanataWriter",
     "JobRecord",
     "RunManifest",

@@ -19,18 +19,25 @@ result object in the repo.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional
 
 
-def host_info() -> Dict[str, str]:
-    """The machine fingerprint recorded in every manifest."""
+def host_info() -> Dict[str, object]:
+    """The machine fingerprint recorded in every manifest.
+
+    ``cpu_count`` matters for sim-speed comparisons: the regression
+    differ (:mod:`repro.obs.diffrun`) only gates on instructions/second
+    when two manifests share this fingerprint.
+    """
     return {
         "hostname": platform.node(),
         "platform": platform.platform(),
         "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count() or 1,
     }
 
 
@@ -51,6 +58,7 @@ class JobRecord:
     status: str = "ok"
     cause: str = ""
     error: str = ""
+    started_ts: float = 0.0     # host wall clock (time.time) at start
 
     @property
     def ok(self) -> bool:
@@ -77,7 +85,7 @@ class RunManifest:
     seed: int = 0
     code_version: str = ""
     repro_version: str = ""
-    host: Dict[str, str] = field(default_factory=host_info)
+    host: Dict[str, object] = field(default_factory=host_info)
     started_at: str = ""
     finished_at: str = ""
     wall_seconds: float = 0.0
@@ -88,6 +96,13 @@ class RunManifest:
     job_records: List[JobRecord] = field(default_factory=list)
     cache: Dict[str, object] = field(default_factory=dict)
     outputs: Dict[str, str] = field(default_factory=dict)
+    # Per-(model, benchmark) result aggregates — what diffrun compares.
+    # Entries: {model, benchmark, ipc, cycles, committed, energy_total,
+    #           energy_per_instruction, stalls, wall_seconds,
+    #           insts_per_second}; populated for every run the sweep
+    #           served, including cache replays (wall_seconds/
+    #           insts_per_second only for freshly simulated jobs).
+    aggregates: List[Dict] = field(default_factory=list)
 
     def slowest_jobs(self, count: int = 5) -> List[JobRecord]:
         """The ``count`` slowest simulated jobs, slowest first."""

@@ -92,7 +92,11 @@ class KanataWriter:
                    f"R\t{file_id}\t{inst.seq}\t{1 if flushed else 0}")
 
     def close(self) -> None:
-        """Sort the buffered events into cycle order and write the file."""
+        """Sort the buffered events into cycle order and write the file.
+
+        A ``.gz`` path is written gzip-compressed (Konata loads both
+        forms; long-window traces shrink ~10x).
+        """
         lines = [KANATA_HEADER]
         current: Optional[int] = None
         for cycle, _, text in sorted(self._events):
@@ -102,8 +106,16 @@ class KanataWriter:
                 lines.append(f"C\t{cycle - current}")
             current = cycle
             lines.append(text)
-        with open(self.path, "w") as stream:
-            stream.write("\n".join(lines) + "\n")
+        text = "\n".join(lines) + "\n"
+        if self.path.endswith(".gz"):
+            import gzip
+
+            # mtime=0 keeps repeated runs byte-identical.
+            with gzip.GzipFile(self.path, "wb", mtime=0) as stream:
+                stream.write(text.encode())
+        else:
+            with open(self.path, "w") as stream:
+                stream.write(text)
 
     # ------------------------------------------------------------------
 

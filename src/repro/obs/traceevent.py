@@ -1,0 +1,158 @@
+"""Chrome-trace-event / Perfetto JSON export of timeline telemetry.
+
+Writes the JSON object form of the Trace Event Format (the schema
+``chrome://tracing`` and https://ui.perfetto.dev both load): counter
+events (``"ph": "C"``) render each core's interval telemetry as stacked
+counter tracks, complete events (``"ph": "X"``) render host-side
+wall-clock spans (per pipeline stage of the CLI run, per sweep job),
+and metadata events (``"ph": "M"``) name the process rows.
+
+Two clock domains share the one timestamp axis (microseconds):
+
+* **simulated cores** (one process row per core): ``ts`` is the
+  interval's starting *cycle*, so a cycle reads as a microsecond and
+  the tracks line up across cores on simulated time;
+* **the host** (process row 1): ``ts`` is wall-clock microseconds since
+  the run started, so sweep-job spans show real scheduling/overlap.
+
+Usage (what the CLI ``--timeline OUT.json`` does)::
+
+    writer = TraceEventWriter()
+    writer.add_timeline(collector)           # one call per core
+    writer.add_span("sweep", ts_us, dur_us)  # host wall-clock spans
+    writer.write("timeline.json")
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.stall import STALL_CAUSES
+from repro.obs.timeline import TimelineCollector
+
+#: Process id reserved for host wall-clock spans; simulated cores get
+#: pids counting up from HOST_PID + 1 in ``add_timeline`` order.
+HOST_PID = 1
+
+
+class TraceEventWriter:
+    """Accumulates trace events; :meth:`write` emits Perfetto JSON."""
+
+    def __init__(self):
+        self.events: List[Dict] = []
+        self._next_core_pid = HOST_PID + 1
+        self._named_pids: Dict[int, str] = {}
+        self._name_process(HOST_PID, "host (wall clock)")
+
+    # -- low-level emitters --------------------------------------------
+
+    def _name_process(self, pid: int, name: str) -> None:
+        if self._named_pids.get(pid) == name:
+            return
+        self._named_pids[pid] = name
+        self.events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+
+    def add_counter(self, name: str, ts: float, values: Dict[str, float],
+                    pid: int) -> None:
+        """One counter sample; multi-key ``values`` stack in one track."""
+        self.events.append({
+            "name": name, "ph": "C", "ts": ts, "pid": pid,
+            "args": values,
+        })
+
+    def add_span(self, name: str, ts: float, dur: float,
+                 pid: int = HOST_PID, tid: int = 0,
+                 args: Optional[Dict] = None) -> None:
+        """A complete span (``ts``/``dur`` in microseconds)."""
+        event = {
+            "name": name, "ph": "X", "ts": ts, "dur": dur,
+            "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    # -- core timelines ------------------------------------------------
+
+    def add_timeline(self, collector: TimelineCollector) -> int:
+        """Render one core's samples as counter tracks; returns the pid
+        allocated for the core's process row."""
+        pid = self._next_core_pid
+        self._next_core_pid += 1
+        label = f"{collector.model} on {collector.benchmark or '?'}"
+        self._name_process(pid, label)
+        active_causes = [
+            cause for cause in STALL_CAUSES
+            if any(s.stalls.get(cause) for s in collector.samples)
+        ]
+        for sample in collector.samples:
+            ts = float(sample.start_cycle)
+            self.add_counter("ipc", ts, {"ipc": sample.ipc}, pid)
+            self.add_counter(
+                "stall cycles", ts,
+                {cause: float(sample.stalls.get(cause, 0))
+                 for cause in active_causes},
+                pid)
+            self.add_counter(
+                "occupancy", ts,
+                {name: round(value, 3)
+                 for name, value in sample.occupancy.items()},
+                pid)
+            rates = {
+                "branch_miss_rate": round(sample.branch_miss_rate, 4),
+                "l1d_miss_rate": round(sample.l1d_miss_rate, 4),
+                "l2_miss_rate": round(sample.l2_miss_rate, 4),
+            }
+            if sample.ixu_executed or collector.model.endswith("FX"):
+                rates["ixu_coverage"] = round(sample.ixu_coverage, 4)
+            self.add_counter("rates", ts, rates, pid)
+            self.add_counter(
+                "energy (pJ)", ts,
+                {component: round(value, 2)
+                 for component, value in sorted(sample.energy.items())},
+                pid)
+        return pid
+
+    # -- output --------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """The full trace object, events sorted for monotonic ``ts``."""
+        ordered = sorted(
+            self.events,
+            key=lambda e: (e["ph"] == "M" and -1 or 0,
+                           e.get("ts", 0), e["pid"]),
+        )
+        return {
+            "traceEvents": ordered,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs.traceevent"},
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle)
+            handle.write("\n")
+
+
+def export_timelines(collectors: Sequence[TimelineCollector],
+                     path: str,
+                     spans: Optional[Sequence[Dict]] = None) -> None:
+    """One-shot convenience: core timelines + optional host spans.
+
+    ``spans`` entries are dicts with ``name``, ``ts``, ``dur`` and
+    optionally ``tid``/``args`` (microseconds, host wall clock).
+    """
+    writer = TraceEventWriter()
+    for collector in collectors:
+        writer.add_timeline(collector)
+    for span in spans or ():
+        writer.add_span(span["name"], span["ts"], span["dur"],
+                        tid=span.get("tid", 0), args=span.get("args"))
+    writer.write(path)
+
+
+__all__ = ["HOST_PID", "TraceEventWriter", "export_timelines"]

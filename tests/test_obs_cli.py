@@ -93,3 +93,158 @@ class TestJsonStillWorks:
         run_cli(tmp_path, "--json", str(json_path))
         data = json.loads(json_path.read_text())
         assert "headline" in data
+
+
+class TestMachineReadableReports:
+    def test_stall_report_csv(self, tmp_path, capsys):
+        import csv
+
+        path = tmp_path / "stalls.csv"
+        assert run_cli(tmp_path, "--stall-report-csv", str(path)) == 0
+        rows = list(csv.reader(path.open()))
+        header, body = rows[0], rows[1:]
+        assert header[:5] == ["model", "benchmark", "cycles",
+                              "committed", "stall_cycles"]
+        assert {row[0] for row in body} >= {"BIG", "HALF+FX", "LITTLE",
+                                            "CA"}
+        assert all(row[1] == "hmmer" for row in body)
+        for row in body:
+            # stall_cycles equals the sum of the per-cause columns.
+            assert int(row[4]) == sum(int(cell) for cell in row[5:])
+        assert "stall report CSV written" in capsys.readouterr().out
+
+    def test_metrics_json(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert run_cli(tmp_path, "--metrics-json", str(path)) == 0
+        payload = json.loads(path.read_text())
+        assert {entry["model"] for entry in payload} >= {"BIG", "CA"}
+        for entry in payload:
+            assert entry["benchmark"] == "hmmer"
+            assert entry["cycles"] > 0 and entry["ipc"] > 0
+            assert isinstance(entry["metrics"], dict)
+            assert entry["metrics"]
+
+
+class TestTimeline:
+    def test_timeline_report_prints_phases(self, tmp_path, capsys):
+        assert run_cli(tmp_path, "--timeline-report",
+                       "--interval", "100") == 0
+        out = capsys.readouterr().out
+        for model in ("LITTLE", "HALF", "HALF+FX", "CA"):
+            assert f"{model}/hmmer" in out
+        assert "phase 1:" in out and "IPC" in out
+
+    def test_timeline_export_is_perfetto_loadable(self, tmp_path,
+                                                  capsys):
+        path = tmp_path / "timeline.json"
+        assert run_cli(tmp_path, "--timeline", str(path),
+                       "--interval", "100") == 0
+        trace = json.loads(path.read_text())
+        events = trace["traceEvents"]
+        stamps = [e["ts"] for e in events if "ts" in e]
+        assert stamps == sorted(stamps)
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert {"LITTLE on hmmer", "HALF on hmmer",
+                "HALF+FX on hmmer", "CA on hmmer",
+                "host (wall clock)"} <= names
+        span_names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "experiment headline" in span_names
+        assert "timeline pass" in span_names
+        assert "timeline sim LITTLE/hmmer" in span_names
+        assert "ui.perfetto.dev" in capsys.readouterr().out
+
+    def test_interval_validation(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(tmp_path, "--timeline-report", "--interval", "0")
+        with pytest.raises(SystemExit):
+            run_cli(tmp_path, "--timeline-report",
+                    "--timeline-benchmark", "nonexistent")
+
+    def test_samples_identical_across_jobs(self, tmp_path, capsys):
+        """The timeline pass is serial by design: identical samples
+        whatever --jobs says."""
+        one = tmp_path / "one.json"
+        two = tmp_path / "two.json"
+        assert run_cli(tmp_path, "--timeline", str(one),
+                       "--interval", "100", "--jobs", "1") == 0
+        runner.clear_cache()
+        assert run_cli(tmp_path, "--timeline", str(two),
+                       "--interval", "100", "--jobs", "2") == 0
+
+        def counters(path):
+            return [e for e in json.loads(path.read_text())
+                    ["traceEvents"] if e["ph"] == "C"]
+
+        assert counters(one) == counters(two)
+
+
+class TestBaselineGate:
+    def _manifest(self, tmp_path, name, *extra):
+        path = tmp_path / name
+        assert run_cli(tmp_path, "--manifest", str(path), *extra) == 0
+        return path
+
+    def test_self_baseline_passes(self, tmp_path, capsys):
+        path = self._manifest(tmp_path, "base.manifest.json")
+        capsys.readouterr()
+        assert run_cli(tmp_path, "--baseline", str(path)) == 0
+        out = capsys.readouterr().out
+        assert "Manifest diff" in out and "result: OK" in out
+
+    def test_perturbed_baseline_trips_gate(self, tmp_path, capsys):
+        path = self._manifest(tmp_path, "base.manifest.json")
+        data = json.loads(path.read_text())
+        assert data["aggregates"]
+        for aggregate in data["aggregates"]:
+            aggregate["ipc"] *= 1.10  # baseline claims 10 % more IPC
+        path.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert run_cli(tmp_path, "--baseline", str(path)) == 3
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_diff_threshold_widens_gate(self, tmp_path, capsys):
+        path = self._manifest(tmp_path, "base.manifest.json")
+        data = json.loads(path.read_text())
+        for aggregate in data["aggregates"]:
+            aggregate["ipc"] *= 1.05
+        path.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert run_cli(tmp_path, "--baseline", str(path),
+                       "--diff-threshold", "0.20") == 0
+
+    def test_baseline_validation(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(tmp_path, "--baseline",
+                    str(tmp_path / "missing.json"))
+
+    def test_trajectory_appends(self, tmp_path, capsys):
+        history = tmp_path / "BENCH_trajectory.json"
+        run_cli(tmp_path, "--trajectory", str(history))
+        run_cli(tmp_path, "--trajectory", str(history))
+        entries = json.loads(history.read_text())["entries"]
+        assert len(entries) == 2
+        assert "HALF+FX" in entries[0]["models"]
+
+    def test_warm_cache_still_builds_aggregates(self, tmp_path, capsys):
+        first = self._manifest(tmp_path, "cold.manifest.json")
+        runner.clear_cache()  # second pass replays from the disk cache
+        second = self._manifest(tmp_path, "warm.manifest.json")
+        cold = RunManifest.read(first)
+        warm = RunManifest.read(second)
+        assert warm.jobs_simulated == 0
+        assert len(warm.aggregates) == len(cold.aggregates) > 0
+        cold_ipcs = {(a["model"], a["benchmark"]): a["ipc"]
+                     for a in cold.aggregates}
+        warm_ipcs = {(a["model"], a["benchmark"]): a["ipc"]
+                     for a in warm.aggregates}
+        assert cold_ipcs == warm_ipcs
+
+    def test_manifest_records_host_and_outputs(self, tmp_path, capsys):
+        csv_path = tmp_path / "stalls.csv"
+        path = self._manifest(tmp_path, "m.manifest.json",
+                              "--stall-report-csv", str(csv_path))
+        manifest = RunManifest.read(path)
+        assert manifest.host["cpu_count"] >= 1
+        assert manifest.host["hostname"]
+        assert manifest.outputs["stall_report_csv"] == str(csv_path)
+        assert all(r.started_ts > 0 for r in manifest.job_records)

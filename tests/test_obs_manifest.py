@@ -63,7 +63,40 @@ class TestAccounting:
 
     def test_host_info_shape(self):
         info = host_info()
-        assert set(info) == {"hostname", "platform", "python"}
+        assert set(info) == {"hostname", "platform", "python",
+                             "cpu_count"}
+        assert info["cpu_count"] >= 1
+
+    def test_job_record_started_ts_round_trips(self):
+        record = JobRecord(job="BIG/hmmer", wall_seconds=2.0,
+                           worker_pid=11, started_ts=1722844800.25)
+        assert JobRecord.from_dict(record.to_dict()) == record
+        # Old manifests predate the field; it defaults to 0.
+        legacy = dict(record.to_dict())
+        del legacy["started_ts"]
+        assert JobRecord.from_dict(legacy).started_ts == 0.0
+
+    def test_aggregates_round_trip(self, tmp_path):
+        manifest = sample_manifest()
+        manifest.aggregates = [{
+            "model": "HALF+FX", "benchmark": "hmmer", "ipc": 1.5,
+            "cycles": 10000, "committed": 15000,
+            "energy_total": 3.0e5, "energy_per_instruction": 20.0,
+            "stalls": {"dcache_miss": 600},
+            "wall_seconds": 0.5, "insts_per_second": 30000.0,
+        }]
+        path = tmp_path / "run.manifest.json"
+        manifest.write(path)
+        back = RunManifest.read(path)
+        assert back.aggregates == manifest.aggregates
+
+    def test_old_manifest_without_new_fields_loads(self):
+        data = sample_manifest().to_dict()
+        del data["aggregates"]
+        del data["host"]
+        manifest = RunManifest.from_dict(data)
+        assert manifest.aggregates == []
+        assert manifest.host == host_info()
 
 
 class TestPathHelper:

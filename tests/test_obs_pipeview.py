@@ -84,6 +84,35 @@ class TestWindow:
             KanataWriter(str(tmp_path / "x"), window=0)
 
 
+class TestGzip:
+    def _run(self, tmp_path, name):
+        path = tmp_path / name
+        writer = KanataWriter(str(path), window=50)
+        obs = Observability(metrics=False, stalls=False,
+                            pipeview=writer)
+        build_core("HALF+FX", obs=obs).run(
+            generate_trace("hmmer", 600))
+        writer.close()
+        return path
+
+    def test_gz_path_writes_same_trace_compressed(self, tmp_path):
+        import gzip
+
+        plain = self._run(tmp_path, "trace.kanata").read_bytes()
+        packed = self._run(tmp_path, "trace.kanata.gz")
+        with gzip.open(packed) as handle:
+            assert handle.read() == plain
+
+    def test_gz_output_is_byte_stable(self, tmp_path):
+        """mtime=0 keeps repeated runs byte-identical (cache- and
+        diff-friendly artifacts); same name, the header embeds it."""
+        (tmp_path / "one").mkdir()
+        (tmp_path / "two").mkdir()
+        first = self._run(tmp_path / "one", "t.kanata.gz").read_bytes()
+        second = self._run(tmp_path / "two", "t.kanata.gz").read_bytes()
+        assert first == second
+
+
 class TestModels:
     @pytest.mark.parametrize("model", ["BIG", "LITTLE", "CA"])
     def test_other_models_produce_valid_traces(self, tmp_path, model):
