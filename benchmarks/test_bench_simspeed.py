@@ -4,10 +4,21 @@ Unlike the per-figure benchmarks, this one times ``simulate`` directly —
 no caches, no experiment aggregation — so regressions in the core tick
 loops show up undiluted.  The measured simulated-instructions-per-second
 rate is attached to the pytest-benchmark record as ``extra_info``.
+
+The suite mirrors :mod:`repro.experiments.simspeed`: all four core
+families on two compute-bound benchmarks (hmmer, libquantum) and two
+memory-bound ones (mcf, milc), so both the unskippable per-instruction
+cost and the fast-forward kernel's miss-shadow wins stay measured.
+``test_bench_fastforward_win`` proves the kernel's contribution per
+core family in-process (fast-forward on vs. the serial escape hatch,
+same tree, same machine) — the machine-independent form of the CI
+guard's cross-commit comparison.
 """
 
+import os
 import time
 
+import pytest
 from conftest import MEASURE, WARMUP, run_once
 
 from repro.core import build_core, model_config
@@ -16,17 +27,25 @@ from repro.obs import Observability
 from repro.validate import GoldenOracle, Validator
 from repro.workloads import generate_trace
 
-#: The headline workload mix: every model family on an INT and an FP
-#: benchmark (hmmer exercises the IXU heavily, lbm the memory system).
-SIMSPEED_MODELS = ("BIG", "HALF+FX", "LITTLE")
-SIMSPEED_BENCHMARKS = ("hmmer", "lbm")
+#: The headline workload mix: every model family on the simspeed
+#: telemetry suite (see repro.experiments.simspeed.SUITE_BENCHMARKS).
+SIMSPEED_MODELS = ("BIG", "HALF+FX", "LITTLE", "CA")
+SIMSPEED_BENCHMARKS = ("hmmer", "mcf", "libquantum", "milc")
+
+#: The overhead guards keep the original, smaller mix: they compare a
+#: disabled against an enabled run of the same workload, so suite
+#: breadth adds wall time without adding signal.
+_OVERHEAD_MODELS = ("BIG", "HALF+FX", "LITTLE")
+_OVERHEAD_BENCHMARKS = ("hmmer", "lbm")
 
 
-def _simulate_mix(measure, warmup, obs_factory=None):
+def _simulate_mix(measure, warmup, obs_factory=None,
+                  models=_OVERHEAD_MODELS,
+                  benchmarks=_OVERHEAD_BENCHMARKS):
     committed = 0
-    for model in SIMSPEED_MODELS:
+    for model in models:
         config = model_config(model)
-        for bench in SIMSPEED_BENCHMARKS:
+        for bench in benchmarks:
             obs = obs_factory() if obs_factory is not None else None
             run = simulate(config, bench, measure, warmup, obs=obs)
             committed += run.stats.committed
@@ -34,7 +53,8 @@ def _simulate_mix(measure, warmup, obs_factory=None):
 
 
 def test_bench_simspeed(benchmark):
-    committed = run_once(benchmark, _simulate_mix, MEASURE, WARMUP)
+    committed = run_once(benchmark, _simulate_mix, MEASURE, WARMUP,
+                         None, SIMSPEED_MODELS, SIMSPEED_BENCHMARKS)
     assert committed == MEASURE * len(SIMSPEED_MODELS) * len(
         SIMSPEED_BENCHMARKS
     )
@@ -47,8 +67,88 @@ def test_bench_simspeed(benchmark):
         )
 
 
+@pytest.mark.parametrize("model", SIMSPEED_MODELS)
+def test_bench_simspeed_family(benchmark, model):
+    """Per-core-family throughput over the full telemetry suite."""
+    committed = run_once(benchmark, _simulate_mix, MEASURE, WARMUP,
+                         None, (model,), SIMSPEED_BENCHMARKS)
+    assert committed == MEASURE * len(SIMSPEED_BENCHMARKS)
+    if benchmark.stats is None:
+        return
+    elapsed = benchmark.stats.stats.total
+    if elapsed > 0:
+        benchmark.extra_info["simulated_insts_per_second"] = (
+            committed / elapsed
+        )
+
+
+#: Fast-forward win floors per family on the guard benchmark (mcf).
+#: Conservative versus the measured wins (BIG 1.28x, HALF+FX 1.33x,
+#: LITTLE 3.2x, CA 1.15x at 12k insts): the floors trip on a kernel
+#: regression, not on timing noise.  The in-order core jumps whole
+#: head-of-queue miss shadows, so its floor is qualitatively higher;
+#: the out-of-order cores keep ticking while misses drain and win
+#: mainly on drained-window gaps.
+_FF_WIN_FLOORS = {
+    "BIG": 1.08,
+    "HALF+FX": 1.10,
+    "LITTLE": 1.80,
+    "CA": 1.02,
+}
+_FF_MEASURE = 12_000
+_FF_WARMUP = 4_000
+
+
+def _time_fastforward(model, enabled, rounds=3):
+    """Best-of-N seconds for model/mcf with fast-forward on or off.
+
+    The escape hatch is read at core construction, so flipping the
+    environment between ``simulate`` calls selects the loop per run.
+    """
+    key = "REPRO_NO_FASTFORWARD"
+    previous = os.environ.get(key)
+    os.environ[key] = "" if enabled else "1"
+    try:
+        config = model_config(model)
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            simulate(config, "mcf", _FF_MEASURE, _FF_WARMUP)
+            best = min(best, time.perf_counter() - started)
+        return best
+    finally:
+        if previous is None:
+            del os.environ[key]
+        else:
+            os.environ[key] = previous
+
+
+@pytest.mark.parametrize("model", SIMSPEED_MODELS)
+def test_bench_fastforward_win(benchmark, model):
+    """Guard: the event-driven kernel must keep beating the serial
+    loop on the memory-bound guard workload, per core family."""
+    simulate(model_config(model), "mcf", _FF_MEASURE, _FF_WARMUP)
+    serial = _time_fastforward(model, enabled=False)
+    fast = run_once(benchmark, _time_fastforward, model, True)
+    win = serial / fast
+    floor = _FF_WIN_FLOORS[model]
+    if win < floor:  # one retry: absorb host-load blips, not drifts
+        serial = min(serial, _time_fastforward(model, enabled=False))
+        fast = min(fast, _time_fastforward(model, enabled=True))
+        win = serial / fast
+    if benchmark.stats is not None:
+        benchmark.extra_info["serial_seconds"] = serial
+        benchmark.extra_info["fastforward_seconds"] = fast
+        benchmark.extra_info["fastforward_win"] = win
+    assert win >= floor, (
+        f"{model}/mcf: fast-forward ran only {win:.2f}x faster than "
+        f"the serial loop (floor {floor}x); the kernel is no longer "
+        f"skipping idle cycles"
+    )
+
+
 def _time_mix(obs_factory, rounds=3):
-    """Best-of-N wall time of the simspeed mix (traces pre-memoised by
+    """Best-of-N wall time of the overhead mix (traces pre-memoised by
     the caller, so only simulation is timed)."""
     best = float("inf")
     for _ in range(rounds):
@@ -63,7 +163,7 @@ def test_bench_obs_disabled_overhead(benchmark):
 
     The per-cycle observability hook in every core is one ``is None``
     test when no Observability bundle is attached.  This times the
-    simspeed mix without observability against the same mix with a
+    overhead mix without observability against the same mix with a
     fully-enabled bundle (stall attribution + occupancy metrics) and
     asserts the disabled path is at least as fast — within a 5 % timing
     -noise allowance.  If disabled-mode simulation ever pays for
@@ -89,7 +189,7 @@ def test_bench_timeline_disabled_overhead(benchmark):
 
     The timeline collector rides the same per-cycle observability hook,
     so an unobserved run still pays only the one ``is None`` test.
-    This times the simspeed mix without observability against the same
+    This times the overhead mix without observability against the same
     mix with a timeline-only bundle (interval sampling, occupancy
     accumulation, per-interval energy pricing) and asserts the disabled
     path is at least as fast — within the 5 % timing-noise allowance.
@@ -120,7 +220,7 @@ def test_bench_validate_disabled_overhead(benchmark):
 
     Like observability, the validator hooks in every core are one
     ``is None`` test per site when no Validator is attached.  This
-    times the simspeed models without a validator against the same
+    times the overhead-mix models without a validator against the same
     runs under full differential + invariant checking and asserts the
     disabled path is at least as fast — within the same 5 % timing
     -noise allowance as the observability guard.
@@ -130,7 +230,7 @@ def test_bench_validate_disabled_overhead(benchmark):
 
     def run_mix(validated):
         committed = 0
-        for model in SIMSPEED_MODELS:
+        for model in _OVERHEAD_MODELS:
             validator = (Validator(trace, reference=reference)
                          if validated else None)
             core = build_core(model_config(model), validator=validator)

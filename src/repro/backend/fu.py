@@ -8,7 +8,7 @@ point: total FU op counts barely change between models — Section V-A1).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.isa.opclass import FUType, LATENCY, OpClass
 
@@ -25,32 +25,43 @@ class FUPool:
         self.fu_type = fu_type
         self.count = count
         self._busy_until: List[int] = [0] * count
-        self._issued_at: Dict[int, int] = {}
+        # Unpipelined holds are rare, so a single high-water mark lets
+        # the common all-free case skip the per-unit scan entirely.
+        self._busy_max = 0
+        # Issue-port claims only ever target the core's current cycle,
+        # which is monotonic, so one (cycle, count) pair replaces the
+        # per-cycle dict.
+        self._issue_cycle = -1
+        self._issued = 0
         self.executions = 0
 
     def available(self, cycle: int) -> int:
         """Units able to accept a new op this cycle."""
-        free_units = sum(1 for b in self._busy_until if b <= cycle)
-        return max(0, free_units - self._issued_at.get(cycle, 0))
+        if self._busy_max <= cycle:
+            free_units = self.count
+        else:
+            free_units = sum(1 for b in self._busy_until if b <= cycle)
+        issued = self._issued if self._issue_cycle == cycle else 0
+        return max(0, free_units - issued)
 
     def try_issue(self, op: OpClass, cycle: int) -> bool:
         """Claim a unit for ``op`` at ``cycle``; False when none free."""
-        if self.available(cycle) <= 0:
+        if self._issue_cycle != cycle:
+            self._issue_cycle = cycle
+            self._issued = 0
+        if self._busy_max <= cycle:
+            free_units = self.count
+        else:
+            free_units = sum(1 for b in self._busy_until if b <= cycle)
+        if free_units - self._issued <= 0:
             return False
-        self._issued_at[cycle] = self._issued_at.get(cycle, 0) + 1
+        self._issued += 1
         if op in _UNPIPELINED:
             # Occupy the soonest-free unit for the whole operation.
-            unit = min(
-                range(self.count), key=lambda i: self._busy_until[i]
-            )
-            self._busy_until[unit] = cycle + LATENCY[op]
+            busy = self._busy_until
+            unit = min(range(self.count), key=busy.__getitem__)
+            busy[unit] = cycle + LATENCY[op]
+            if busy[unit] > self._busy_max:
+                self._busy_max = busy[unit]
         self.executions += 1
-        self._prune(cycle)
         return True
-
-    def _prune(self, cycle: int) -> None:
-        """Drop per-cycle issue counters older than ``cycle``."""
-        if len(self._issued_at) > 64:
-            self._issued_at = {
-                c: n for c, n in self._issued_at.items() if c >= cycle
-            }

@@ -1,14 +1,21 @@
 """Issue queue: bounded, age-ordered window with event accounting.
 
-The core owns the select loop (operand readiness and FU arbitration are
-cross-cutting); the queue provides ordered storage, occupancy limits and
-the access counters the energy model prices:
+The cores own wakeup and select (see ``OutOfOrderCore._schedule_entry``:
+operand readiness is event-driven off producer completions); the queue
+provides ordered storage, occupancy limits and the access counters the
+energy model prices:
 
 * ``dispatches`` — CAM/RAM writes when an instruction enters;
 * ``issues`` — payload-RAM reads when one leaves;
 * ``wakeup_broadcasts`` — tag broadcasts, one per completing producer;
 * ``wakeup_cam_compares`` — broadcast × live entries, the dominant
   CAM-search energy term.
+
+Removal is lazy: the select loop marks entries ``issued`` and counts
+them out via :meth:`note_issue`; the backing list is compacted only
+when enough dead entries accumulate (or on a squash).  Every occupancy
+consumer — ``len()``, ``full``/``free``, CAM-compare pricing, the
+occupancy histogram — reads the live count, so laziness is invisible.
 """
 
 from __future__ import annotations
@@ -19,12 +26,16 @@ from typing import Iterator, List
 class IssueQueue:
     """Age-ordered issue queue (Table I: 64 entries BIG, 32 HALF)."""
 
+    #: Compact the backing list once this many dead entries accumulate.
+    _GC_SLACK = 32
+
     def __init__(self, capacity: int, issue_width: int):
         if capacity <= 0 or issue_width <= 0:
             raise ValueError("capacity and issue width must be positive")
         self.capacity = capacity
         self.issue_width = issue_width
         self._entries: List = []
+        self._live = 0
         self.dispatches = 0
         self.issues = 0
         self.wakeup_broadcasts = 0
@@ -33,58 +44,74 @@ class IssueQueue:
         self._occupancy_samples = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._live
 
     def __iter__(self) -> Iterator:
-        """Iterate entries oldest-first (age-ordered select)."""
-        return iter(self._entries)
+        """Iterate live entries oldest-first."""
+        return iter(e for e in self._entries if not e.issued)
 
     @property
     def full(self) -> bool:
-        return len(self._entries) >= self.capacity
+        return self._live >= self.capacity
 
     @property
     def free(self) -> int:
-        return self.capacity - len(self._entries)
+        return self.capacity - self._live
 
     def dispatch(self, entry) -> None:
         """Insert a renamed instruction (IQ write)."""
-        if self.full:
+        if self._live >= self.capacity:
             raise RuntimeError("issue queue overflow")
         self._entries.append(entry)
+        self._live += 1
         self.dispatches += 1
 
     def issue(self, entry) -> None:
-        """Remove ``entry`` on issue (payload read)."""
+        """Remove ``entry`` on issue (payload read; direct API)."""
         self._entries.remove(entry)
+        self._live -= 1
         self.issues += 1
 
     def note_issue(self) -> None:
-        """Count a payload read whose removal is deferred.
+        """Count an entry the select loop marked ``issued``.
 
-        The select loop marks the entry ``issued`` and calls
-        :meth:`remove_issued` once per cycle, replacing an O(n)
-        ``list.remove`` per issued instruction with one sweep.
+        The entry leaves the live count immediately; the backing list
+        drops it at the next :meth:`remove_issued` compaction.
         """
         self.issues += 1
+        self._live -= 1
 
     def remove_issued(self) -> None:
-        """Sweep entries the core marked ``issued`` out of the window."""
-        self._entries = [e for e in self._entries if not e.issued]
+        """Compact the backing list if enough dead entries accumulated."""
+        entries = self._entries
+        if len(entries) - self._live >= self._GC_SLACK:
+            self._entries = [
+                e for e in entries if not (e.issued or e.squashed)
+            ]
 
     def broadcast_wakeup(self) -> None:
         """A producer completed: tag broadcast against all live entries."""
         self.wakeup_broadcasts += 1
-        self.wakeup_cam_compares += len(self._entries)
+        self.wakeup_cam_compares += self._live
 
     def squash_younger_than(self, seq: int) -> None:
-        """Drop squashed entries."""
-        self._entries = [e for e in self._entries if e.seq <= seq]
+        """Drop squashed entries (and compact any dead ones)."""
+        self._entries = [
+            e for e in self._entries
+            if e.seq <= seq and not e.issued
+        ]
+        self._live = len(self._entries)
 
     def sample_occupancy(self) -> None:
         """Record occupancy once per cycle (for reporting)."""
-        self._occupancy_accum += len(self._entries)
+        self._occupancy_accum += self._live
         self._occupancy_samples += 1
+
+    def sample_occupancy_many(self, cycles: int) -> None:
+        """Record ``cycles`` identical occupancy samples (fast-forward:
+        the window is frozen across a jumped gap)."""
+        self._occupancy_accum += self._live * cycles
+        self._occupancy_samples += cycles
 
     @property
     def mean_occupancy(self) -> float:

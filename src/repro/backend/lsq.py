@@ -113,12 +113,14 @@ class LoadStoreQueue:
             True when the load's data is forwarded from the store queue.
         """
         self.stats.forward_searches += 1
-        forwarded = any(
-            s.mem_executed
-            and s.seq < entry.seq
-            and s.inst.mem_addr == entry.inst.mem_addr
-            for s in self._stores
-        )
+        seq = entry.seq
+        addr = entry.inst.mem_addr
+        forwarded = False
+        for s in self._stores:
+            if s.seq < seq and s.mem_executed \
+                    and s.inst.mem_addr == addr:
+                forwarded = True
+                break
         if forwarded:
             self.stats.forwarded_loads += 1
         if in_ixu and self.older_stores_all_executed(entry):

@@ -21,6 +21,8 @@ This model implements CA faithfully enough to reproduce that argument:
 
 from __future__ import annotations
 
+import heapq
+from bisect import insort
 from typing import Dict, List, Tuple
 
 from repro.backend import FUPool
@@ -52,6 +54,9 @@ class ClusteredCore(OutOfOrderCore):
         self._roundrobin_next = 0
         self.intercluster_forwards = 0
         self.issued_per_cluster: List[int] = [0] * clusters.count
+        # Per-tick scratch: per-cluster issue counts, zeroed in place
+        # each _issue call instead of reallocated every cycle.
+        self._per_cluster: List[int] = [0] * clusters.count
 
     # ------------------------------------------------------------------
     # Steering (at rename/dispatch)
@@ -66,8 +71,8 @@ class ClusteredCore(OutOfOrderCore):
         # Dependence steering: follow the first in-flight producer —
         # unless that cluster is badly overloaded (21264-style steering
         # balances too, or throughput-bound code piles onto one side).
-        least = min(range(clusters.count),
-                    key=lambda c: self._steer_load[c])
+        loads = self._steer_load
+        least = loads.index(min(loads))
         for cls, preg in entry.renamed.srcs:
             producer_cluster = self._preg_cluster.get((cls, preg))
             if producer_cluster is None:
@@ -92,47 +97,65 @@ class ClusteredCore(OutOfOrderCore):
     # Issue: per-cluster widths, private INT FUs, cross-cluster latency
     # ------------------------------------------------------------------
 
-    def _srcs_ready(self, entry: InFlight, cycle: int) -> bool:
+    def _entry_wake(self, entry: InFlight) -> int:
+        """Cluster-aware wake cycle: a value crossing clusters arrives
+        ``inter_cluster_delay`` cycles after the producer's value is
+        ready.  Computed once per entry when its last producer's
+        arrival becomes known — the producer-cluster map is stable for
+        the life of the consumer (the producer's physical register is
+        not reclaimed while an in-flight consumer names it)."""
+        wake = entry.issue_ready
         delay = self.cluster_config.inter_cluster_delay
         prf = self.renamer.prf
+        preg_cluster_get = self._preg_cluster.get
+        cluster = entry.cluster
         for cls, preg in entry.renamed.srcs:
-            ready = prf[cls].ready_cycle(preg)
-            producer_cluster = self._preg_cluster.get((cls, preg))
+            arrival = prf[cls].ready_cycles[preg]
+            producer_cluster = preg_cluster_get((cls, preg))
             if (producer_cluster is not None
-                    and producer_cluster != entry.cluster):
-                ready += delay
-            if ready > cycle:
-                return False
-        return True
+                    and producer_cluster != cluster):
+                arrival += delay
+            if arrival > wake:
+                wake = arrival
+        return wake
 
-    def _issue(self) -> None:
+    def _issue(self) -> int:
         cycle = self.cycle
-        per_cluster = [0] * self.cluster_config.count
+        heap = self._wake_heap
+        ready = self._ready_entries
+        if heap and heap[0][0] <= cycle:
+            heappop = heapq.heappop
+            while heap and heap[0][0] <= cycle:
+                _, seq, entry = heappop(heap)
+                if entry.squashed or entry.issued:
+                    continue
+                insort(ready, (seq, entry))
+        if not ready:
+            return 0
+        per_cluster = self._per_cluster
+        for index in range(len(per_cluster)):
+            per_cluster[index] = 0
         width = self.cluster_config.issue_width_per_cluster
+        total_width = self.config.issue_width
+        iq = self.iq
         issued_total = 0
-        for entry in list(self.iq):
-            if issued_total >= self.config.issue_width:
-                break
+        for _, entry in ready:
             if entry.squashed or entry.issued:
-                continue
-            if entry.issue_ready > cycle:
                 continue
             cluster = entry.cluster
             if per_cluster[cluster] >= width:
                 continue
-            if not self._srcs_ready(entry, cycle):
-                continue
             inst = entry.inst
             if inst.is_load and not self._load_dependence_clear(entry):
                 continue
-            fu_type = FU_FOR_OPCLASS[inst.op]
+            fu_type = inst.fu_type
             if fu_type is FUType.INT:
                 if not self.cluster_int_fus[cluster].try_issue(
                         inst.op, cycle):
                     continue
             elif not self.fu[fu_type].try_issue(inst.op, cycle):
                 continue
-            self.iq.issue(entry)
+            iq.note_issue()
             entry.issued = True
             per_cluster[cluster] += 1
             issued_total += 1
@@ -143,6 +166,15 @@ class ClusteredCore(OutOfOrderCore):
             self._execute(entry, cycle, in_ixu=False)
             if entry.squashed:
                 break
+            if issued_total >= total_width:
+                break
+        if issued_total:
+            iq.remove_issued()
+            self._ready_entries = [
+                item for item in self._ready_entries
+                if not item[1].issued and not item[1].squashed
+            ]
+        return issued_total
 
     def _count_cross_cluster(self, entry: InFlight) -> None:
         for cls, preg in entry.renamed.srcs:

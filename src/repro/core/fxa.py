@@ -34,7 +34,7 @@ from repro.core.config import CoreConfig
 from repro.core.inflight import InFlight
 from repro.core.ooo import OutOfOrderCore
 from repro.backend import BypassNetwork
-from repro.isa.opclass import FUType, IXU_ELIGIBLE
+from repro.isa.opclass import FUType
 from repro.ixu.pipeline import BypassRegistry, StageFUUsage
 
 
@@ -47,6 +47,7 @@ class FXACore(OutOfOrderCore):
         super().__init__(config, obs, validator)
         ixu = config.ixu
         self.ixu_config = ixu
+        self._track_prf_ports = True  # regread shares OXU read ports
         self.ixu_bypass = BypassNetwork("ixu", ixu.total_fus)
         self._bypass_registry = BypassRegistry(
             depth=ixu.depth, stage_limit=ixu.bypass_stage_limit
@@ -77,40 +78,77 @@ class FXACore(OutOfOrderCore):
     # The dispatch phase runs the whole front-end execution pipeline.
     # ------------------------------------------------------------------
 
-    def _dispatch(self) -> None:
+    def _dispatch(self) -> int:
+        exit_before = len(self._exit_q)
         stalled = not self._drain_exit_queue()
+        active = len(self._exit_q) != exit_before
         if not stalled:
-            self._run_ixu_stages()
-            self._advance_pipe()
+            if self._ixu_pipe:
+                self._run_ixu_stages()
+                self._advance_pipe()
+                active = True
+            regread_before = len(self._regread_q)
             self._enter_pipe()
+            # Entries entering — or still inside — an unstalled pipe
+            # advance next cycle, so the front end is not idle.
+            if len(self._regread_q) != regread_before or self._ixu_pipe:
+                active = True
         self._bypass_registry.prune(self.cycle)
+        return 1 if active else 0
+
+    def _event_horizon(self) -> int:
+        horizon = super()._event_horizon()
+        cycle = self.cycle
+        # IXU front-end queue heads.  A stalled-but-frozen IXU pipe adds
+        # no threshold of its own: it unblocks only via an issue-queue
+        # drain, which requires a completion the base horizon covers.
+        if self._exit_q:
+            due = self._exit_q[0].dispatch_cycle
+            if cycle <= due < horizon:
+                horizon = due
+        if self._regread_q:
+            due = self._regread_q[0].dispatch_cycle
+            if cycle <= due < horizon:
+                horizon = due
+        return horizon
 
     def _drain_exit_queue(self) -> bool:
         """Dispatch IXU-exiting instructions; False when the IQ blocks."""
+        exit_q = self._exit_q
+        if not exit_q:
+            return True
+        cycle = self.cycle
+        iq = self.iq
+        scoreboard = self.renamer.scoreboard
+        issue_lat = self.config.dispatch_to_issue
         dispatched = 0
-        while self._exit_q and dispatched < self.config.rename_width:
-            entry = self._exit_q[0]
-            if entry.dispatch_cycle > self.cycle:
+        width = self.config.rename_width
+        while exit_q and dispatched < width:
+            entry = exit_q[0]
+            if entry.dispatch_cycle > cycle:
                 break
             if entry.squashed:
-                self._exit_q.popleft()
+                exit_q.popleft()
                 continue
             if entry.executed_in_ixu:
-                self._exit_q.popleft()
+                exit_q.popleft()
                 dispatched += 1
                 continue
-            if self.iq.full:
+            if iq.full:
                 return False  # structural stall: hold the whole pipe
-            self._exit_q.popleft()
+            exit_q.popleft()
             # Second scoreboard read (Section III-C): operands that became
             # ready in the OXU during IXU transit dispatch as ready.
-            for cls, preg in entry.renamed.srcs:
-                self.renamer.scoreboard[cls].is_ready(preg, self.cycle)
-            self.iq.dispatch(entry)
-            entry.iq_cycle = self.cycle
-            entry.issue_ready = self.cycle + self.config.dispatch_to_issue
+            for cls, _preg in entry.renamed.srcs:
+                scoreboard[cls].reads += 1
+            entry.iq_cycle = cycle
+            # issue_ready is final before dispatch: the wakeup engine
+            # folds it into the entry's wake cycle on registration.
+            entry.issue_ready = cycle + issue_lat
+            iq.dispatch(entry)
+            self._schedule_entry(entry)
             dispatched += 1
-        if self._exit_q and self._exit_q[0].dispatch_cycle <= self.cycle:
+        if exit_q and exit_q[0].dispatch_cycle <= cycle:
             return False  # leftovers: pipe holds this cycle
         return True
 
@@ -118,27 +156,24 @@ class FXACore(OutOfOrderCore):
         """Attempt execution for every live instruction in the IXU."""
         cycle = self.cycle
         for entry in self._ixu_pipe:
-            if entry.squashed or entry.executed_in_ixu:
+            if (entry.squashed or entry.executed_in_ixu
+                    or not entry.ixu_eligible):
                 continue
             self._try_ixu_execute(entry, cycle)
 
     def _try_ixu_execute(self, entry: InFlight, cycle: int) -> bool:
+        # Static gates (op class, branch/mem config) were resolved into
+        # entry.ixu_eligible at register read.
         inst = entry.inst
-        if inst.op not in IXU_ELIGIBLE:
-            return False
-        ixu = self.ixu_config
-        if inst.is_branch and not ixu.execute_branches:
-            return False
-        if inst.is_mem and not ixu.execute_mem_ops:
-            return False
         pos = entry.ixu_pos
-        # Operand reachability: captured at register read, or IXU bypass.
-        captured = entry.regread_captured
-        for index, (cls, preg) in enumerate(entry.renamed.srcs):
-            if captured[index]:
-                continue
-            if not self._bypass_registry.available(cls, preg, cycle, pos):
-                return False
+        # Operand reachability: sources captured at register read are
+        # settled; only the rest consult the bypass network each cycle.
+        uncaptured = entry.ixu_uncaptured
+        if uncaptured:
+            available = self._bypass_registry.available
+            for cls, preg in uncaptured:
+                if not available(cls, preg, cycle, pos):
+                    return False
         if inst.is_load and not self._load_dependence_clear(entry):
             return False
         if inst.is_store and self.lsq.has_younger_executed_load(entry.seq):
@@ -158,8 +193,8 @@ class FXACore(OutOfOrderCore):
         entry.executed_in_ixu = True
         entry.ixu_exec_cycle = cycle
         entry.ixu_exec_stage = pos
-        entry.ixu_category = "a" if all(captured) else "b"
-        self._ixu_bypass_operand_hits += len(captured) - sum(captured)
+        entry.ixu_category = "b" if uncaptured else "a"
+        self._ixu_bypass_operand_hits += len(uncaptured)
         self._ixu_exec_count += 1
         if inst.is_mem:
             self._ixu_mem_exec_count += 1
@@ -199,6 +234,10 @@ class FXACore(OutOfOrderCore):
         prf = self.renamer.prf
         ixu_pipe = self._ixu_pipe
         entered = 0
+        ixu = self.ixu_config
+        ports = self.config.prf_read_ports
+        port_use = self._prf_port_use
+        claimed = port_use.get(cycle, 0)
         while regread_q and entered < width:
             entry = regread_q[0]
             if entry.dispatch_cycle > cycle:  # regread not due yet
@@ -207,26 +246,40 @@ class FXACore(OutOfOrderCore):
             if entry.squashed:
                 continue
             captured = []
+            uncaptured = []
             for cls, preg in entry.renamed.srcs:
                 # Sequential scoreboard-then-PRF access (Section III-B):
                 # the PRF is read only for available values, and only
                 # through a shared port the OXU left free this cycle
                 # (OXU priority, Section II-A).  A value missed here can
                 # still arrive via IXU bypassing or the issue queue.
-                if (
-                    scoreboard[cls].is_ready(preg, cycle)
-                    and self._prf_port_free(cycle)
-                ):
-                    prf[cls].read(preg)
-                    self._claim_prf_port(cycle)
+                board = scoreboard[cls]
+                board.reads += 1
+                if board._written[preg] <= cycle and claimed < ports:
+                    file = prf[cls]
+                    file.reads += 1
+                    claimed += 1
                     captured.append(True)
                 else:
                     captured.append(False)
+                    uncaptured.append((cls, preg))
             entry.regread_captured = tuple(captured)
+            entry.ixu_uncaptured = tuple(uncaptured)
+            inst = entry.inst
+            entry.ixu_eligible = (
+                inst.ixu_eligible
+                and (ixu.execute_branches or not inst.is_branch)
+                and (ixu.execute_mem_ops or not inst.is_mem)
+            )
             entry.ixu_pos = 0
             entry.ixu_exec_cycle = -1
             ixu_pipe.append(entry)
             entered += 1
+        port_use[cycle] = claimed
+        if len(port_use) > 64:
+            self._prf_port_use = {
+                c: n for c, n in port_use.items() if c >= cycle
+            }
 
     # ------------------------------------------------------------------
     # Hooks into the base pipeline

@@ -22,6 +22,7 @@ class InFlight:
     __slots__ = (
         "inst",
         "renamed",
+        "src_pairs",
         "prediction",
         "mispredicted",
         "btb_redirect",
@@ -31,6 +32,7 @@ class InFlight:
         "dispatch_cycle",
         "iq_cycle",
         "issue_ready",
+        "wait_count",
         "issued",
         "issue_cycle",
         "complete_cycle",
@@ -41,16 +43,25 @@ class InFlight:
         "mem_dep",
         "cluster",
         "executed_in_ixu",
+        "ixu_eligible",
         "ixu_pos",
         "ixu_exec_cycle",
         "ixu_exec_stage",
         "ixu_category",
         "regread_captured",
+        "ixu_uncaptured",
     )
 
     def __init__(self, inst: DynInst, fetch_cycle: int):
         self.inst = inst
         self.renamed = None
+        # Prebound ``(prf_ready_cycles_list, preg)`` pairs, one per
+        # renamed source: the issue loop's operand check becomes two
+        # flat list indexings with no dict lookup or attribute chase.
+        # Bound at rename (the PRF ready lists are mutated in place and
+        # never rebound, so the references stay valid for the entry's
+        # whole lifetime).
+        self.src_pairs: Tuple = ()
         self.prediction = None
         self.mispredicted = False
         self.btb_redirect = False
@@ -60,6 +71,9 @@ class InFlight:
         self.dispatch_cycle = UNSCHEDULED
         self.iq_cycle = UNSCHEDULED
         self.issue_ready = UNSCHEDULED
+        # Unscheduled-producer count for the event-driven wakeup engine
+        # (see OutOfOrderCore._schedule_entry).
+        self.wait_count = 0
         self.issued = False
         self.issue_cycle = UNSCHEDULED
         self.complete_cycle = UNSCHEDULED
@@ -70,11 +84,16 @@ class InFlight:
         self.mem_dep = None
         self.cluster = -1
         self.executed_in_ixu = False
+        # Resolved at IXU entry: op class, branch/mem config gates.
+        self.ixu_eligible = False
         self.ixu_pos = -1
         self.ixu_exec_cycle = UNSCHEDULED
         self.ixu_exec_stage = -1
         self.ixu_category = ""
         self.regread_captured: Optional[Tuple[bool, ...]] = None
+        # Sources *not* captured at register read: the per-cycle IXU
+        # execute attempt only re-checks these against the bypass net.
+        self.ixu_uncaptured: Tuple = ()
 
     @property
     def seq(self) -> int:

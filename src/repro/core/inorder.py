@@ -21,9 +21,11 @@ from repro.core.inflight import InFlight
 from repro.core.stats import CoreStats, EventCounts
 from repro.isa.instruction import DynInst
 from repro.isa.opclass import FUType, FU_FOR_OPCLASS, LATENCY, OpClass
-from repro.isa.registers import Reg
+from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS, Reg
 from repro.mem.hierarchy import CacheHierarchy
 
+from repro.core import kernel
+from repro.core.kernel import NO_EVENT
 from repro.core.ooo import DEADLOCK_LIMIT, SimulationError
 
 #: Store-buffer entries kept for forwarding.
@@ -59,8 +61,18 @@ class InOrderCore:
         }
         self.bypass = BypassNetwork("inorder", config.total_oxu_fus)
         self.stats = CoreStats(model=config.name)
-        # Architectural register readiness (no renaming).
-        self._reg_ready: Dict[Reg, int] = {}
+        # Fast-forward kernel state (see repro.core.kernel).
+        self._ff = kernel.fastforward_enabled()
+        self._ff_skipped = 0  # cycles jumped, not ticked
+        self._max_cycles: Optional[int] = None
+        # Per-tick scratch for early/late ALU pairing, holding flat
+        # register indices (cleared, never reallocated, in _issue).
+        self._early_results: set = set()
+        # Architectural register readiness (no renaming), one slot
+        # per register indexed by ``Reg.flat`` (INT 0..31, FP 32..63).
+        self._reg_ready: List[int] = (
+            [0] * (NUM_INT_REGS + NUM_FP_REGS)
+        )
         self._rf_reads = 0
         self._rf_writes = 0
         # Pipeline state.
@@ -82,7 +94,9 @@ class InOrderCore:
         self._fetch_stall_kind = ""
         # Registers whose pending value is produced by an in-flight
         # load (distinguishes dcache stalls from ALU operand waits).
-        self._load_dest: Dict[Reg, bool] = {}
+        self._load_dest: List[bool] = (
+            [False] * (NUM_INT_REGS + NUM_FP_REGS)
+        )
         if obs is not None:
             obs.attach(self)
         self._validator = validator
@@ -95,7 +109,9 @@ class InOrderCore:
             max_cycles: Optional[int] = None) -> CoreStats:
         """Simulate ``trace`` to completion and return statistics."""
         self.trace = trace
-        while self.fetch_idx < len(trace) or self.issue_q:
+        self._max_cycles = max_cycles  # clamps the fast-forward jump
+        trace_len = len(trace)
+        while self.fetch_idx < trace_len or self.issue_q:
             if max_cycles is not None and self.cycle >= max_cycles:
                 break
             self._tick()
@@ -113,9 +129,12 @@ class InOrderCore:
         return self.stats
 
     def _tick(self) -> None:
-        self._process_completions()
+        completions = self._completions
+        quiet = not completions or completions[0][0] > self.cycle
+        if not quiet:
+            self._process_completions()
         issued = self._issue()
-        self._fetch()
+        fetch_moved = self._fetch()
         if self._obs is not None:
             # In-order issue is commitment: an issued instruction
             # retires, so zero-issue cycles are the stall cycles.
@@ -123,16 +142,65 @@ class InOrderCore:
         if self._validator is not None:
             self._validator.on_cycle(self, issued)
         self.cycle += 1
+        if self._ff and quiet and not issued and not fetch_moved:
+            kernel.advance(self, self._last_issue_cycle)
+
+    # ------------------------------------------------------------------
+    # Event horizon (fast-forward kernel)
+    # ------------------------------------------------------------------
+
+    def _event_horizon(self) -> int:
+        """Earliest future cycle at which any state can change.
+
+        Every future register arrival is also a pending completion, so
+        the completion heap alone covers operand waits; the head-of-
+        queue thresholds keep the horizon tight on issue-latency and
+        redirect bubbles.
+        """
+        cycle = self.cycle
+        horizon = NO_EVENT
+        completions = self._completions
+        if completions:
+            horizon = completions[0][0]
+        resume = self.fetch_resume_cycle
+        if cycle <= resume < horizon:
+            horizon = resume
+        fill = self.hierarchy.fill_horizon(cycle)
+        if fill is not None and fill < horizon:
+            horizon = fill
+        if self.issue_q:
+            head = self.issue_q[0]
+            ready = head.issue_ready
+            if ready >= cycle:
+                if ready < horizon:
+                    horizon = ready
+            else:
+                # Head is due but blocked on registers: stop at the
+                # *earliest* pending arrival (source or WAW dest) so
+                # the stall cause's first-pending-source attribution
+                # stays constant across the jumped gap.
+                reg_ready = self._reg_ready
+                inst = head.inst
+                for flat in inst.src_flats:
+                    arrival = reg_ready[flat]
+                    if cycle <= arrival < horizon:
+                        horizon = arrival
+                dest_flat = inst.dest_flat
+                if dest_flat is not None:
+                    arrival = reg_ready[dest_flat]
+                    if cycle <= arrival < horizon:
+                        horizon = arrival
+        return horizon
 
     # ------------------------------------------------------------------
     # Fetch (mirrors the OoO front end at LITTLE's width/depth)
     # ------------------------------------------------------------------
 
-    def _fetch(self) -> None:
+    def _fetch(self) -> bool:
         if self.cycle < self.fetch_resume_cycle:
-            return
+            return False
         if self.waiting_branch is not None:
-            return
+            return False
         config = self.config
         trace = self.trace
         trace_len = len(trace)
@@ -140,26 +208,33 @@ class InOrderCore:
         line_bytes = config.hierarchy.line_bytes
         fetch_width = config.fetch_width
         queue_depth = config.frontend_queue_depth
+        stats = self.stats
+        cycle = self.cycle
+        fetch_idx = self.fetch_idx
+        issue_lat = config.fetch_to_rename
         fetched = 0
         while (
             fetched < fetch_width
-            and self.fetch_idx < trace_len
+            and fetch_idx < trace_len
             and len(issue_q) < queue_depth
         ):
-            inst = trace[self.fetch_idx]
+            inst = trace[fetch_idx]
             line = inst.pc // line_bytes
             if line != self._last_fetched_line:
                 result = self.hierarchy.fetch(inst.pc)
                 self._last_fetched_line = line
                 if not result.l1_hit:
-                    self.fetch_resume_cycle = self.cycle + result.latency
+                    self.fetch_idx = fetch_idx
+                    stats.fetched += fetched
+                    self.fetch_resume_cycle = cycle + result.latency
+                    self.hierarchy.note_refill(self.fetch_resume_cycle)
                     self._fetch_stall_kind = "icache"
-                    break
-            entry = InFlight(inst, fetch_cycle=self.cycle)
-            entry.issue_ready = self.cycle + config.fetch_to_rename
+                    return True
+            entry = InFlight(inst, fetch_cycle=cycle)
+            entry.issue_ready = cycle + issue_lat
             stop_after = False
             if inst.is_branch:
-                self.stats.branches += 1
+                stats.branches += 1
                 entry.prediction = self.predictor.predict(inst)
                 if not entry.prediction.correct_for(inst):
                     if (entry.prediction.taken and inst.taken
@@ -167,7 +242,7 @@ class InOrderCore:
                         entry.btb_redirect = True
                         self.stats.btb_redirects += 1
                         self.fetch_resume_cycle = (
-                            self.cycle + config.decode_redirect_latency
+                            cycle + config.decode_redirect_latency
                         )
                         self._fetch_stall_kind = "redirect"
                     else:
@@ -176,19 +251,21 @@ class InOrderCore:
                     stop_after = True
                 elif inst.taken:
                     stop_after = True
-            self.issue_q.append(entry)
-            self.fetch_idx += 1
+            issue_q.append(entry)
+            fetch_idx += 1
             fetched += 1
-            self.stats.fetched += 1
             if stop_after:
                 break
+        self.fetch_idx = fetch_idx
+        stats.fetched += fetched
+        return fetched > 0
 
     # ------------------------------------------------------------------
     # In-order issue
     # ------------------------------------------------------------------
 
     def _ready(self, reg: Reg, cycle: int) -> bool:
-        return self._reg_ready.get(reg, 0) <= cycle
+        return self._reg_ready[reg.flat] <= cycle
 
     def _issue(self) -> int:
         issue_q = self.issue_q
@@ -203,7 +280,8 @@ class InOrderCore:
         # 1-cycle integer op per cycle may dual-issue behind its
         # producer, executing in the late ALU stage with an
         # early-to-late forward.
-        early_results = set()
+        early_results = self._early_results
+        early_results.clear()
         late_slot_used = False
         while issue_q and issued < width:
             entry = issue_q[0]
@@ -212,11 +290,11 @@ class InOrderCore:
             inst = entry.inst
             uses_late = False
             stalled = False
-            for src in inst.srcs:
-                if reg_ready.get(src, 0) > cycle:
+            for flat in inst.src_flats:
+                if reg_ready[flat] > cycle:
                     # RAW hazard: every pending source must be an early
                     # result forwardable to the late ALU slot.
-                    if (late_slot_used or src not in early_results
+                    if (late_slot_used or flat not in early_results
                             or inst.op not in _SIMPLE_INT):
                         stalled = True
                         break
@@ -224,19 +302,19 @@ class InOrderCore:
             if stalled:
                 break  # RAW hazard: stall in order
             # WAW: destination's previous write must have completed.
-            dest = inst.dest
-            if dest is not None and reg_ready.get(dest, 0) > cycle:
+            dest_flat = inst.dest_flat
+            if dest_flat is not None and reg_ready[dest_flat] > cycle:
                 break
-            if not fu[FU_FOR_OPCLASS[inst.op]].try_issue(inst.op, cycle):
+            if not fu[inst.fu_type].try_issue(inst.op, cycle):
                 break
             issue_q.popleft()
             self._rf_reads += len(inst.srcs)
             self._execute(entry, cycle)
             if uses_late:
                 late_slot_used = True
-            if (inst.op is OpClass.INT_ALU and inst.dest is not None
-                    and LATENCY[inst.op] == 1):
-                early_results.add(inst.dest)
+            if (inst.op is OpClass.INT_ALU and dest_flat is not None
+                    and inst.latency == 1):
+                early_results.add(dest_flat)
             issued += 1
             self._last_issue_cycle = cycle
             if inst.is_branch and entry.mispredicted:
@@ -261,12 +339,13 @@ class InOrderCore:
                 self._store_buffer.popitem(last=False)
             complete = cycle + 1
         else:
-            complete = cycle + LATENCY[inst.op]
+            complete = cycle + inst.latency
         entry.complete_cycle = complete
         self._final_cycle = max(self._final_cycle, complete)
-        if inst.dest is not None:
-            self._reg_ready[inst.dest] = complete
-            self._load_dest[inst.dest] = inst.is_load
+        flat = inst.dest_flat
+        if flat is not None:
+            self._reg_ready[flat] = complete
+            self._load_dest[flat] = inst.is_load
             self._rf_writes += 1
             self.bypass.broadcast()
         self._completion_counter += 1
@@ -323,13 +402,13 @@ class InOrderCore:
         if entry is not None and entry.issue_ready <= self.cycle:
             cycle = self.cycle
             reg_ready = self._reg_ready
-            for src in entry.inst.srcs:
-                if reg_ready.get(src, 0) > cycle:
-                    if self._load_dest.get(src):
+            for flat in entry.inst.src_flats:
+                if reg_ready[flat] > cycle:
+                    if self._load_dest[flat]:
                         return "dcache_miss"
                     return "operand_wait"
-            dest = entry.inst.dest
-            if dest is not None and reg_ready.get(dest, 0) > cycle:
+            dest_flat = entry.inst.dest_flat
+            if dest_flat is not None and reg_ready[dest_flat] > cycle:
                 return "operand_wait"  # WAW on an in-flight writer
             return "other"             # FU structural conflict
         if self.waiting_branch is not None:

@@ -25,6 +25,7 @@ keeps the paper's Figure 8b shape.
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -37,15 +38,15 @@ from repro.backend import (
     StoreSetPredictor,
 )
 from repro.branch import BranchPredictor
+from repro.core import kernel
 from repro.core.config import CoreConfig
 from repro.core.inflight import InFlight
+from repro.core.kernel import DEADLOCK_LIMIT, NO_EVENT
 from repro.core.stats import CoreStats, EventCounts
 from repro.isa.instruction import DynInst
 from repro.isa.opclass import FUType, FU_FOR_OPCLASS, LATENCY, OpClass
 from repro.mem.hierarchy import CacheHierarchy
-
-#: Abort the run when commit makes no progress for this many cycles.
-DEADLOCK_LIMIT = 20_000
+from repro.rename.prf import NEVER
 
 #: FP arithmetic classes the commit stage counts (not FP loads/stores).
 _FP_ARITH = frozenset({OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV})
@@ -95,6 +96,16 @@ class OutOfOrderCore:
         }
         self.oxu_bypass = BypassNetwork("oxu", config.total_oxu_fus)
         self.stats = CoreStats(model=config.name)
+        # Fast-forward kernel state (see repro.core.kernel).  The PRF
+        # ready lists are prebound per class once: they are mutated in
+        # place and never rebound, so rename can pair each source preg
+        # with its list for flat-column operand checks.
+        self._ff = kernel.fastforward_enabled()
+        self._ff_skipped = 0  # cycles jumped, not ticked
+        self._max_cycles: Optional[int] = None
+        self._ready_lists = {
+            cls: prf.ready_cycles for cls, prf in self.renamer.prf.items()
+        }
         # Pipeline state.
         self.cycle = 0
         self.trace: List[DynInst] = []
@@ -105,12 +116,26 @@ class OutOfOrderCore:
         self.dispatch_q: Deque[InFlight] = deque()
         self._completions: List[Tuple[int, int, InFlight]] = []
         self._completion_counter = 0
+        # Event-driven wakeup (see _schedule_entry): entries whose
+        # operand-arrival cycles are all known sit in the wake heap
+        # keyed (wake_cycle, seq); entries waiting on an unscheduled
+        # producer sit in per-preg waiter lists until the producer's
+        # completion reveals its arrival cycle.  Woken entries move to
+        # the age-ordered ready list the select loop scans — the loop
+        # never touches entries that cannot issue yet.
+        self._wake_heap: List[Tuple[int, int, InFlight]] = []
+        self._ready_entries: List[Tuple[int, InFlight]] = []
+        self._iq_waiters: Dict[Tuple, List[InFlight]] = {}
         self._last_fetched_line = -1
         self._last_commit_cycle = 0
         self._iq_reserved = 0
         # PRF read-port usage per cycle (shared with the IXU in FXA;
         # the OXU issues first each cycle and therefore has priority).
         self._prf_port_use: Dict[int, int] = {}
+        # Only FXA consumes the per-cycle port ledger (its front-end
+        # register-read competes with the OXU for shared read ports);
+        # the plain OoO and clustered cores skip the bookkeeping.
+        self._track_prf_ports = False
         # Observability (stall attribution state is kept even when obs
         # is off: the stores sit on cold paths and cost nothing).
         self._obs = obs
@@ -137,7 +162,10 @@ class OutOfOrderCore:
         if trace and trace[0].seq != 0:
             raise ValueError("trace must start at seq 0")
         self.trace = trace
-        while self.fetch_idx < len(trace) or len(self.rob) or self.rename_q:
+        self._max_cycles = max_cycles  # clamps the fast-forward jump
+        trace_len = len(trace)
+        rob_entries = self.rob._entries
+        while self.fetch_idx < trace_len or rob_entries or self.rename_q:
             if max_cycles is not None and self.cycle >= max_cycles:
                 break
             self._tick()
@@ -160,28 +188,104 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------
 
     def _tick(self) -> None:
-        self._process_completions()
+        # Each stage reports whether it moved any state; a tick where
+        # nothing moved is provably repeatable and may fast-forward.
+        completions = self._completions
+        quiet = not completions or completions[0][0] > self.cycle
+        if not quiet:
+            self._process_completions()
         committed = self._commit()
-        self._issue()
-        self._dispatch()
-        self._rename()
-        self._fetch()
+        issued = self._issue()
+        dispatched = self._dispatch()
+        renamed = self._rename()
+        fetch_moved = self._fetch()
         self.iq.sample_occupancy()
         if self._obs is not None:
             self._obs.on_cycle(self, committed)
         if self._validator is not None:
             self._validator.on_cycle(self, committed)
         self.cycle += 1
+        if (
+            self._ff
+            and quiet
+            and not committed
+            and not issued
+            and not dispatched
+            and not renamed
+            and not fetch_moved
+        ):
+            kernel.advance(self, self._last_commit_cycle)
+
+    # ------------------------------------------------------------------
+    # Event horizon (fast-forward kernel)
+    # ------------------------------------------------------------------
+
+    def _event_horizon(self) -> int:
+        """Earliest future cycle at which any pipeline state can change.
+
+        Only consulted on idle ticks.  Conservative thresholds (those
+        that merely *might* unblock a stage) are always safe: they only
+        shorten the jump.
+        """
+        cycle = self.cycle
+        horizon = NO_EVENT
+        completions = self._completions
+        if completions:
+            horizon = completions[0][0]
+        resume = self.fetch_resume_cycle
+        if cycle <= resume < horizon:
+            horizon = resume
+        fill = self.hierarchy.fill_horizon(cycle)
+        if fill is not None and fill < horizon:
+            horizon = fill
+        if self.rename_q:
+            ready = self.rename_q[0].rename_ready
+            if cycle <= ready < horizon:
+                horizon = ready
+        if self.dispatch_q:
+            due = self.dispatch_q[0].dispatch_cycle
+            if cycle <= due < horizon:
+                horizon = due
+        iq_horizon = self._iq_horizon(cycle)
+        if iq_horizon < horizon:
+            horizon = iq_horizon
+        return horizon
+
+    def _iq_horizon(self, cycle: int) -> int:
+        """Earliest cycle any issue-queue entry could become ready.
+
+        The wake heap's head *is* that cycle: entries waiting on an
+        unscheduled producer (arrival ``NEVER``) are not in the heap —
+        their producer has yet to complete, which requires an earlier
+        event already covered by the completion heap.  Entries in the
+        ready list are ready *now* but blocked structurally; their
+        unblocking likewise requires another covered event, so they
+        contribute no threshold (this matches the former full scan's
+        ``cycle <= threshold`` guard).
+        """
+        heap = self._wake_heap
+        heappop = heapq.heappop
+        while heap:
+            wake, _, entry = heap[0]
+            if entry.squashed or entry.issued:
+                heappop(heap)
+                continue
+            if wake < cycle:
+                # Only reachable on an active tick (dispatch runs after
+                # issue); never on the idle ticks that fast-forward.
+                return cycle
+            return wake
+        return NO_EVENT
 
     # ------------------------------------------------------------------
     # Fetch
     # ------------------------------------------------------------------
 
-    def _fetch(self) -> None:
+    def _fetch(self) -> bool:
         if self.cycle < self.fetch_resume_cycle:
-            return
+            return False
         if self.waiting_branch is not None:
-            return
+            return False
         config = self.config
         cycle = self.cycle
         trace = self.trace
@@ -191,27 +295,32 @@ class OutOfOrderCore:
         queue_depth = config.frontend_queue_depth
         line_bytes = config.hierarchy.line_bytes
         rename_lat = config.fetch_to_rename
+        stats = self.stats
+        fetch_idx = self.fetch_idx
         fetched = 0
         while (
             fetched < fetch_width
-            and self.fetch_idx < trace_len
+            and fetch_idx < trace_len
             and len(rename_q) < queue_depth
         ):
-            inst = trace[self.fetch_idx]
+            inst = trace[fetch_idx]
             line = inst.pc // line_bytes
             if line != self._last_fetched_line:
                 result = self.hierarchy.fetch(inst.pc)
                 self._last_fetched_line = line
                 if not result.l1_hit:
                     # Refill in flight: resume once the line arrives.
+                    self.fetch_idx = fetch_idx
+                    stats.fetched += fetched
                     self.fetch_resume_cycle = cycle + result.latency
+                    self.hierarchy.note_refill(self.fetch_resume_cycle)
                     self._fetch_stall_kind = "icache"
-                    break
+                    return True
             entry = InFlight(inst, fetch_cycle=cycle)
             entry.rename_ready = cycle + rename_lat
             stop_after = False
             if inst.is_branch:
-                self.stats.branches += 1
+                stats.branches += 1
                 entry.prediction = self.predictor.predict(inst)
                 if not entry.prediction.correct_for(inst):
                     if (entry.prediction.taken and inst.taken
@@ -232,48 +341,66 @@ class OutOfOrderCore:
                     # Simple fetch units stop at a taken branch.
                     stop_after = True
             rename_q.append(entry)
-            self.fetch_idx += 1
+            fetch_idx += 1
             fetched += 1
-            self.stats.fetched += 1
             if stop_after:
                 break
+        self.fetch_idx = fetch_idx
+        stats.fetched += fetched
+        return fetched > 0
 
     # ------------------------------------------------------------------
     # Rename
     # ------------------------------------------------------------------
 
-    def _rename(self) -> None:
-        config = self.config
+    def _rename(self) -> int:
         self._stall_reason = None
+        rename_q = self.rename_q
+        if not rename_q:
+            return 0
+        cycle = self.cycle
+        width = self.config.rename_width
+        validator = self._validator
+        ready_lists = self._ready_lists
+        rob = self.rob
+        rob_entries = rob._entries
         renamed = 0
-        while self.rename_q and renamed < config.rename_width:
-            entry = self.rename_q[0]
-            if entry.rename_ready > self.cycle:
+        while rename_q and renamed < width:
+            entry = rename_q[0]
+            if entry.rename_ready > cycle:
                 break
-            if not self._rename_resources_ready(entry):
+            eliminable = self._is_eliminable(entry.inst)
+            if not self._rename_resources_ready(entry, eliminable):
                 break
-            self.rename_q.popleft()
-            if self._is_eliminable(entry.inst):
+            rename_q.popleft()
+            if eliminable:
                 # RENO: the move becomes a rename-table update; it still
                 # takes a ROB slot and commits, but never executes.
                 entry.renamed = self.renamer.rename_move(entry.inst)
-                entry.rename_cycle = self.cycle
-                entry.complete_cycle = self.cycle
-                if self._validator is not None:
-                    self._validator.on_rename(self, entry)
-                self.rob.insert(entry)
+                entry.rename_cycle = cycle
+                entry.complete_cycle = cycle
+                if validator is not None:
+                    validator.on_rename(self, entry)
+                rob_entries.append(entry)
+                rob.allocations += 1
                 self._completion_counter += 1
                 heapq.heappush(
                     self._completions,
-                    (self.cycle, self._completion_counter, entry),
+                    (cycle, self._completion_counter, entry),
                 )
                 renamed += 1
                 continue
-            entry.renamed = self.renamer.rename(entry.inst)
-            entry.rename_cycle = self.cycle
-            if self._validator is not None:
-                self._validator.on_rename(self, entry)
-            self.rob.insert(entry)
+            renamed_ops = self.renamer.rename(entry.inst)
+            entry.renamed = renamed_ops
+            entry.src_pairs = tuple(
+                (ready_lists[cls], cls, preg)
+                for cls, preg in renamed_ops.srcs
+            )
+            entry.rename_cycle = cycle
+            if validator is not None:
+                validator.on_rename(self, entry)
+            rob_entries.append(entry)
+            rob.allocations += 1
             inst = entry.inst
             if inst.is_load:
                 self.lsq.insert_load(entry)
@@ -285,18 +412,24 @@ class OutOfOrderCore:
                 self.store_sets.store_dispatched(inst.pc, entry)
             self._after_rename(entry)
             renamed += 1
+        return renamed
 
     def _is_eliminable(self, inst: DynInst) -> bool:
-        """Is this a move the RENO extension can eliminate at rename?"""
+        """Is this a move the RENO extension can eliminate at rename?
+
+        The op-class identity test leads: it rejects almost every
+        instruction before any config attribute is touched.
+        """
         return (
-            self.config.move_elimination
-            and inst.op is OpClass.MOV
+            inst.op is OpClass.MOV
+            and self.config.move_elimination
             and inst.dest is not None
             and len(inst.srcs) == 1
             and inst.dest.cls is inst.srcs[0].cls
         )
 
-    def _rename_resources_ready(self, entry: InFlight) -> bool:
+    def _rename_resources_ready(self, entry: InFlight,
+                                 eliminable: bool) -> bool:
         """Check every resource rename must secure for ``entry``.
 
         A failed check records which structure blocked rename this
@@ -304,23 +437,30 @@ class OutOfOrderCore:
         cycle to it when nothing commits.
         """
         inst = entry.inst
-        if self._is_eliminable(inst):
-            if self.rob.full:  # needs no register, IQ or LSQ slot
+        rob = self.rob
+        rob_full = len(rob._entries) >= rob.capacity
+        if eliminable:
+            if rob_full:  # needs no register, IQ or LSQ slot
                 self._stall_reason = "rob_full"
                 return False
             return True
-        if not self.renamer.can_rename(inst):
+        dest = inst.dest
+        if (dest is not None
+                and not self.renamer.free[dest.cls]._free):
             self._stall_reason = "prf_full"
             return False
-        if self.rob.full:
+        if rob_full:
             self._stall_reason = "rob_full"
             return False
-        if inst.is_load and not self.lsq.loads_free:
-            self._stall_reason = "lsq_full"
-            return False
-        if inst.is_store and not self.lsq.stores_free:
-            self._stall_reason = "lsq_full"
-            return False
+        if inst.is_mem:
+            lsq = self.lsq
+            if inst.is_load:
+                if not lsq.loads_free:
+                    self._stall_reason = "lsq_full"
+                    return False
+            elif not lsq.stores_free:
+                self._stall_reason = "lsq_full"
+                return False
         if not self._iq_slot_available(entry):
             self._stall_reason = "iq_full"
             return False
@@ -340,32 +480,109 @@ class OutOfOrderCore:
     # Dispatch (into the issue queue)
     # ------------------------------------------------------------------
 
-    def _dispatch(self) -> None:
+    def _dispatch(self) -> int:
+        dispatch_q = self.dispatch_q
+        if not dispatch_q or dispatch_q[0].dispatch_cycle > self.cycle:
+            return 0
         config = self.config
+        cycle = self.cycle
+        width = config.rename_width
+        issue_lat = config.dispatch_to_issue
+        iq_dispatch = self.iq.dispatch
+        schedule = self._schedule_entry
+        moved = 0
         dispatched = 0
-        while self.dispatch_q and dispatched < config.rename_width:
-            entry = self.dispatch_q[0]
-            if entry.dispatch_cycle > self.cycle:
+        while dispatch_q and dispatched < width:
+            entry = dispatch_q[0]
+            if entry.dispatch_cycle > cycle:
                 break
-            self.dispatch_q.popleft()
+            dispatch_q.popleft()
+            moved += 1
             if entry.squashed:
                 continue
             self._iq_reserved -= 1
-            self.iq.dispatch(entry)
-            entry.iq_cycle = self.cycle
-            entry.issue_ready = self.cycle + config.dispatch_to_issue
+            entry.iq_cycle = cycle
+            # issue_ready is final before dispatch: the wakeup engine
+            # folds it into the entry's wake cycle on registration.
+            entry.issue_ready = cycle + issue_lat
+            iq_dispatch(entry)
+            schedule(entry)
             dispatched += 1
+        return moved
 
     # ------------------------------------------------------------------
     # Issue / execute
     # ------------------------------------------------------------------
 
-    def _srcs_ready(self, entry: InFlight, cycle: int) -> bool:
-        prf = self.renamer.prf
-        return all(
-            prf[cls].ready_cycle(preg) <= cycle
-            for cls, preg in entry.renamed.srcs
-        )
+    def _entry_wake(self, entry: InFlight) -> int:
+        """Earliest cycle ``entry`` can issue, given every source
+        arrival is known (all below ``NEVER``)."""
+        wake = entry.issue_ready
+        for ready_cycles, _cls, preg in entry.src_pairs:
+            arrival = ready_cycles[preg]
+            if arrival > wake:
+                wake = arrival
+        return wake
+
+    def _schedule_entry(self, entry: InFlight) -> None:
+        """Register a freshly-dispatched entry with the wakeup engine.
+
+        If every source's arrival cycle is already known the entry goes
+        straight onto the wake heap; otherwise it parks in the waiter
+        list of each unscheduled source and is re-examined when that
+        producer's completion announces the arrival cycle.
+        """
+        waiting = 0
+        waiters = self._iq_waiters
+        for ready_cycles, cls, preg in entry.src_pairs:
+            if ready_cycles[preg] >= NEVER:
+                bucket = waiters.get((cls, preg))
+                if bucket is None:
+                    waiters[(cls, preg)] = [entry]
+                else:
+                    bucket.append(entry)
+                waiting += 1
+        entry.wait_count = waiting
+        if not waiting:
+            heapq.heappush(
+                self._wake_heap,
+                (self._entry_wake(entry), entry.seq, entry),
+            )
+
+    def _wake_dependents(self, cls, preg: int) -> None:
+        """A producer's arrival cycle is now known: re-examine waiters."""
+        bucket = self._iq_waiters.pop((cls, preg), None)
+        if bucket is None:
+            return
+        heappush = heapq.heappush
+        wake_heap = self._wake_heap
+        for entry in bucket:
+            if entry.squashed or entry.issued:
+                continue
+            entry.wait_count -= 1
+            if not entry.wait_count:
+                heappush(
+                    wake_heap,
+                    (self._entry_wake(entry), entry.seq, entry),
+                )
+
+    def _scheduler_squash(self, boundary_seq: int) -> None:
+        """Drop squashed entries from the wakeup structures.
+
+        Waiter lists are cleaned lazily (squashed entries are skipped
+        at wake time); the heap is filtered eagerly so the horizon peek
+        stays cheap."""
+        self._ready_entries = [
+            item for item in self._ready_entries if not item[1].squashed
+        ]
+        heap = self._wake_heap
+        for item in heap:
+            if item[2].squashed:
+                self._wake_heap = [
+                    it for it in heap if not it[2].squashed
+                ]
+                heapq.heapify(self._wake_heap)
+                break
 
     def _load_dependence_clear(self, entry: InFlight) -> bool:
         """Store-set check: may this load issue ahead of older stores?
@@ -378,50 +595,54 @@ class OutOfOrderCore:
             return True
         return dep.squashed or dep.mem_executed or dep.seq >= entry.seq
 
-    def _issue(self) -> None:
-        iq = self.iq
-        if not len(iq):
-            return
-        issued = 0
+    def _issue(self) -> int:
         cycle = self.cycle
+        heap = self._wake_heap
+        ready = self._ready_entries
+        if heap and heap[0][0] <= cycle:
+            heappop = heapq.heappop
+            while heap and heap[0][0] <= cycle:
+                _, seq, entry = heappop(heap)
+                if entry.squashed or entry.issued:
+                    continue
+                insort(ready, (seq, entry))
+        if not ready:
+            return 0
+        # Age-ordered select over entries that are operand-ready *now*
+        # (the wake heap guarantees it); only structural conditions —
+        # FU ports, issue width, memory dependences — are re-checked.
+        # ``ready`` is iterated live: a mid-loop squash is followed by
+        # an immediate break, and the post-loop sweep rebuilds from the
+        # (possibly rebound) attribute.
+        issued = 0
         width = self.config.issue_width
         fu = self.fu
-        ready_for = {
-            cls: p.ready_cycles for cls, p in self.renamer.prf.items()
-        }
-        # Iterating the queue's live list is safe: issue removal is
-        # deferred to the post-loop sweep, and a mid-loop squash rebinds
-        # the queue's list, leaving this iterator on the old snapshot
-        # (the pre-existing semantics).
-        for entry in iq:
-            if issued >= width:
-                break
+        iq = self.iq
+        for _, entry in ready:
             if entry.squashed or entry.issued:
-                continue
-            if entry.issue_ready > cycle:
-                continue
-            srcs_ready = True
-            for cls, preg in entry.renamed.srcs:
-                if ready_for[cls][preg] > cycle:
-                    srcs_ready = False
-                    break
-            if not srcs_ready:
                 continue
             inst = entry.inst
             if inst.is_load and not self._load_dependence_clear(entry):
                 continue
-            if not fu[FU_FOR_OPCLASS[inst.op]].try_issue(inst.op, cycle):
+            if not fu[inst.fu_type].try_issue(inst.op, cycle):
                 continue
             iq.note_issue()
             entry.issued = True
             issued += 1
             self._execute(entry, cycle, in_ixu=False)
             if entry.squashed:
-                # An ordering violation squashed younger state (possibly
-                # entries later in our snapshot); restart next cycle.
+                # An ordering violation squashed younger state; restart
+                # next cycle.
+                break
+            if issued >= width:
                 break
         if issued:
             iq.remove_issued()
+            self._ready_entries = [
+                item for item in self._ready_entries
+                if not item[1].issued and not item[1].squashed
+            ]
+        return issued
 
     def _execute(self, entry: InFlight, cycle: int, in_ixu: bool) -> None:
         """Begin execution at ``cycle``; schedules the completion."""
@@ -432,9 +653,21 @@ class OutOfOrderCore:
             srcs = entry.renamed.srcs
             if srcs:
                 prf = self.renamer.prf
-                for cls, preg in srcs:
-                    prf[cls].read(preg)
-                    self._claim_prf_port(cycle)
+                if self._track_prf_ports:
+                    port_use = self._prf_port_use
+                    claimed = port_use.get(cycle, 0)
+                    for cls, preg in srcs:
+                        prf[cls].read(preg)
+                        claimed += 1
+                    port_use[cycle] = claimed
+                    if len(port_use) > 64:
+                        self._prf_port_use = {
+                            c: n for c, n in port_use.items()
+                            if c >= cycle
+                        }
+                else:
+                    for cls, preg in srcs:
+                        prf[cls].reads += 1
         if inst.is_load:
             forwarded = self.lsq.execute_load(entry, in_ixu)
             if forwarded:
@@ -455,15 +688,14 @@ class OutOfOrderCore:
                 # this address are missed ordering violations.
                 self._validator.on_store_executed(self, entry, in_ixu)
         else:
-            complete = cycle + LATENCY[inst.op]
+            complete = cycle + inst.latency
         entry.complete_cycle = complete
-        if entry.renamed is not None and entry.renamed.dest is not None:
-            network = self._bypass_network(in_ixu)
-            network.broadcast()
-        self._completion_counter += 1
-        heapq.heappush(
-            self._completions, (complete, self._completion_counter, entry)
-        )
+        renamed = entry.renamed
+        if renamed is not None and renamed.dest is not None:
+            self._bypass_network(in_ixu).broadcast()
+        counter = self._completion_counter + 1
+        self._completion_counter = counter
+        heapq.heappush(self._completions, (complete, counter, entry))
 
     def _bypass_network(self, in_ixu: bool) -> BypassNetwork:
         return self.oxu_bypass
@@ -500,10 +732,14 @@ class OutOfOrderCore:
             renamed = entry.renamed
             if (renamed is not None and renamed.dest is not None
                     and not renamed.eliminated):
-                prf = prf_map[renamed.dest_cls]
-                prf.mark_ready(renamed.dest, entry.complete_cycle)
-                prf.mark_written(renamed.dest,
-                                 self._prf_write_cycle(entry))
+                dest = renamed.dest
+                dest_cls = renamed.dest_cls
+                # Inlined PRF mark_ready/mark_written (hot path).
+                prf = prf_map[dest_cls]
+                prf.ready_cycles[dest] = entry.complete_cycle
+                prf.writes += 1
+                prf._written[dest] = self._prf_write_cycle(entry)
+                self._wake_dependents(dest_cls, dest)
                 if not entry.executed_in_ixu:
                     # Completing producers broadcast their tag into the IQ.
                     self.iq.broadcast_wakeup()
@@ -567,6 +803,7 @@ class OutOfOrderCore:
             if pipeview is not None:
                 pipeview.record(entry, self.cycle, flushed=True)
         self.iq.squash_younger_than(boundary_seq)
+        self._scheduler_squash(boundary_seq)
         self.lsq.squash_younger_than(boundary_seq)
         for queue in (self.rename_q, self.dispatch_q):
             for entry in queue:
@@ -642,19 +879,21 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------
 
     def _commit(self) -> int:
-        rob = self.rob
+        rob_entries = self.rob._entries
         cycle = self.cycle
         stats = self.stats
         pipeview = self._pipeview
+        renamer = self.renamer
+        refcounts = renamer._refcount
+        free_lists = renamer.free
+        validator = self._validator
         committed = 0
         width = self.config.commit_width
-        while committed < width:
-            head = rob.head()
-            if head is None or not head.done:
+        while committed < width and rob_entries:
+            head = rob_entries[0]
+            if not head.done or head.complete_cycle > cycle:
                 break
-            if head.complete_cycle > cycle:
-                break
-            rob.pop_head()
+            rob_entries.popleft()
             inst = head.inst
             if inst.is_mem:
                 if inst.is_store:
@@ -667,10 +906,24 @@ class OutOfOrderCore:
                 stats.committed_branches += 1
             elif inst.op in _FP_ARITH:
                 stats.committed_fp += 1
-            self.renamer.commit(head.renamed)
+            renamed = head.renamed
+            old_dest = renamed.old_dest
+            if renamed.dest_cls is not None and old_dest is not None:
+                # Inlined Renamer.commit/_release (hot path): drop the
+                # previous mapping's reference, reclaim at zero.
+                refcount = refcounts[renamed.dest_cls]
+                remaining = refcount[old_dest] - 1
+                refcount[old_dest] = remaining
+                if remaining == 0:
+                    free_lists[renamed.dest_cls].release(old_dest)
+                elif remaining < 0:
+                    raise RuntimeError(
+                        f"refcount underflow on {renamed.dest_cls} "
+                        f"p{old_dest}"
+                    )
             self._on_commit(head)
-            if self._validator is not None:
-                self._validator.on_commit(self, head)
+            if validator is not None:
+                validator.on_commit(self, head)
             if pipeview is not None:
                 pipeview.record(head, cycle, flushed=False)
             stats.committed += 1

@@ -290,6 +290,38 @@ def _write_pipeview(args) -> str:
             f"{args.pipeview} (open with Konata)")
 
 
+def _profile_sim(args) -> str:
+    """cProfile one job's simulation phase and write pstats to disk.
+
+    The trace is memoised (and the allocator warmed) by an untimed
+    run first, so the profile contains the simulation phase only —
+    no trace generation, no import cost.  Load the output with
+    ``python -m pstats OUT.prof`` or snakeviz.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    benchmark = args.profile_benchmark or (
+        args.benchmarks[0] if args.benchmarks else "hmmer"
+    )
+    config = model_config(args.profile_model)
+    runner.simulate(config, benchmark, args.measure, args.warmup)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run = runner.simulate(config, benchmark, args.measure, args.warmup)
+    profiler.disable()
+    profiler.dump_stats(args.profile_sim)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(10)
+    top = "\n".join(stream.getvalue().splitlines()[4:18])
+    return (f"simulation profile of {args.profile_model}/{benchmark} "
+            f"({run.stats.committed} insts) written to "
+            f"{args.profile_sim}; top functions by cumulative time:\n"
+            f"{top}")
+
+
 def _print_job_summary(job_records, count: int = 5) -> None:
     """Slowest-jobs accounting for everything actually simulated."""
     total = total_wall_seconds(job_records)
@@ -514,6 +546,21 @@ def main(argv: Optional[List[str]] = None) -> int:
              "--benchmarks entry, else hmmer).",
     )
     parser.add_argument(
+        "--profile-sim", metavar="OUT.PROF", default=None,
+        help="cProfile one job's simulation phase (trace generation "
+             "excluded) and write pstats data to OUT.PROF; prints the "
+             "top functions by cumulative time.",
+    )
+    parser.add_argument(
+        "--profile-model", default="HALF+FX", choices=list(_OBS_MODELS),
+        help="Model the profiled simulation runs (default HALF+FX).",
+    )
+    parser.add_argument(
+        "--profile-benchmark", default=None,
+        help="Benchmark for the profiled simulation (default: first "
+             "--benchmarks entry, else hmmer).",
+    )
+    parser.add_argument(
         "--manifest", dest="manifest_path", default=None, metavar="PATH",
         help="Write the run manifest (provenance JSON) to PATH.",
     )
@@ -575,6 +622,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             and args.timeline_benchmark not in ALL_BENCHMARKS):
         parser.error(
             f"unknown --timeline-benchmark: {args.timeline_benchmark}")
+    if (args.profile_benchmark
+            and args.profile_benchmark not in ALL_BENCHMARKS):
+        parser.error(
+            f"unknown --profile-benchmark: {args.profile_benchmark}")
     if args.diff_threshold is not None and args.diff_threshold <= 0:
         parser.error("--diff-threshold must be positive")
     baseline_manifest = None
@@ -658,6 +709,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             pipeview_note = _write_pipeview(args)
             _staged("pipeview pass", started)
             print(pipeview_note)
+        if args.profile_sim:
+            started = time.time()
+            print(_profile_sim(args))
+            _staged("profile pass", started)
         job_records = runner.pop_job_records()
         served_runs = runner.pop_served_runs()
         if args.timeline:
@@ -727,6 +782,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         outputs["timeline"] = args.timeline
     if args.stall_report_csv:
         outputs["stall_report_csv"] = args.stall_report_csv
+    if args.profile_sim:
+        outputs["profile"] = args.profile_sim
     if args.metrics_json:
         outputs["metrics_json"] = args.metrics_json
     # Built even with no --manifest/--json: --baseline diffs it and

@@ -13,6 +13,10 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.isa.opclass import (
+    FU_FOR_OPCLASS,
+    FUType,
+    IXU_ELIGIBLE,
+    LATENCY,
     OpClass,
     is_branch,
     is_load,
@@ -55,6 +59,13 @@ class DynInst:
     is_mem: bool = field(init=False, repr=False, compare=False)
     is_load: bool = field(init=False, repr=False, compare=False)
     is_store: bool = field(init=False, repr=False, compare=False)
+    fu_type: "FUType" = field(init=False, repr=False, compare=False)
+    latency: int = field(init=False, repr=False, compare=False)
+    ixu_eligible: bool = field(init=False, repr=False, compare=False)
+    src_flats: Tuple[int, ...] = field(init=False, repr=False,
+                                       compare=False)
+    dest_flat: Optional[int] = field(init=False, repr=False,
+                                     compare=False)
 
     def __post_init__(self) -> None:
         mem = is_mem(self.op)
@@ -69,6 +80,18 @@ class DynInst:
         set_attr(self, "is_mem", mem)
         set_attr(self, "is_load", is_load(self.op))
         set_attr(self, "is_store", is_store(self.op))
+        # FU routing and base execution latency are pure functions of
+        # the op class; traces are memoised across runs, so resolving
+        # them here removes two dict lookups per issue attempt.
+        set_attr(self, "fu_type", FU_FOR_OPCLASS[self.op])
+        set_attr(self, "latency", LATENCY[self.op])
+        set_attr(self, "ixu_eligible", self.op in IXU_ELIGIBLE)
+        # Dense cross-class register indices (see Reg.flat): the
+        # in-order core's readiness table is subscripted with these on
+        # every issue attempt.
+        set_attr(self, "src_flats", tuple(s.flat for s in self.srcs))
+        set_attr(self, "dest_flat",
+                 self.dest.flat if self.dest is not None else None)
 
     @property
     def fall_through(self) -> int:

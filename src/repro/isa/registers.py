@@ -9,7 +9,6 @@ the two classes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 NUM_INT_REGS = 32
 NUM_FP_REGS = 32
@@ -29,19 +28,40 @@ class RegClass(enum.Enum):
     __hash__ = object.__hash__
 
 
-@dataclass(frozen=True)
 class Reg:
-    """A logical (architectural) register."""
+    """A logical (architectural) register.
 
-    cls: RegClass
-    index: int
+    Registers are hot dictionary keys (RAT maps, scoreboards, the
+    in-order core's readiness table), so equality keeps an identity
+    fast path and the hash is precomputed to a small int — with the
+    interned instances from :func:`int_reg` / :func:`fp_reg`, CPython's
+    dict probe resolves on identity without ever calling ``__eq__``.
+    """
 
-    def __post_init__(self) -> None:
-        limit = NUM_INT_REGS if self.cls is RegClass.INT else NUM_FP_REGS
-        if not 0 <= self.index < limit:
+    __slots__ = ("cls", "index", "flat")
+
+    def __init__(self, cls: RegClass, index: int):
+        limit = NUM_INT_REGS if cls is RegClass.INT else NUM_FP_REGS
+        if not 0 <= index < limit:
             raise ValueError(
-                f"register index {self.index} out of range for {self.cls}"
+                f"register index {index} out of range for {cls}"
             )
+        self.cls = cls
+        self.index = index
+        # Dense index across both classes (INT 0..31, FP 32..63): used
+        # as the hash and as a direct subscript into flat per-register
+        # state tables (e.g. the in-order core's readiness array).
+        self.flat = index + (NUM_INT_REGS if cls is RegClass.FP else 0)
+
+    def __hash__(self) -> int:
+        return self.flat
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Reg:
+            return self.index == other.index and self.cls is other.cls
+        return NotImplemented
 
     @property
     def is_zero(self) -> bool:
@@ -53,14 +73,28 @@ class Reg:
         return f"{prefix}{self.index}"
 
 
+#: Interned instances: one object per architectural register, so the
+#: identity fast paths in ``__eq__`` and dict lookups always hit.
+_INT_REGS = tuple(Reg(RegClass.INT, i) for i in range(NUM_INT_REGS))
+_FP_REGS = tuple(Reg(RegClass.FP, i) for i in range(NUM_FP_REGS))
+
+
 def int_reg(index: int) -> Reg:
     """Build an integer logical register."""
-    return Reg(RegClass.INT, index)
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(
+            f"register index {index} out of range for {RegClass.INT}"
+        )
+    return _INT_REGS[index]
 
 
 def fp_reg(index: int) -> Reg:
     """Build a floating-point logical register."""
-    return Reg(RegClass.FP, index)
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(
+            f"register index {index} out of range for {RegClass.FP}"
+        )
+    return _FP_REGS[index]
 
 
 #: Canonical integer zero register (Alpha r31).

@@ -22,7 +22,7 @@ front-end register read.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.isa.registers import RegClass
 
@@ -76,6 +76,8 @@ class BypassRegistry:
 
     def prune(self, cycle: int) -> None:
         """Drop values that can never be bypassed again."""
+        if not self._values:
+            return
         dead = [
             key for key, produced in self._values.items()
             if produced.producer.squashed
@@ -96,22 +98,26 @@ class BypassRegistry:
 
 
 class StageFUUsage:
-    """Per-cycle, per-stage FU occupancy of the IXU."""
+    """Per-cycle, per-stage FU occupancy of the IXU.
+
+    Claims arrive with non-decreasing cycle numbers (the IXU executes
+    in simulation order), so one per-stage counter array rolled over at
+    each new cycle replaces a keyed ledger.
+    """
 
     def __init__(self, stage_fus: Tuple[int, ...]):
         self.stage_fus = stage_fus
-        self._used: Dict[Tuple[int, int], int] = {}
+        self._cycle = -1
+        self._used_now: List[int] = [0] * len(stage_fus)
 
     def try_use(self, cycle: int, stage: int) -> bool:
         """Claim one FU at ``stage`` this cycle; False when all busy."""
-        capacity = self.stage_fus[stage]
-        key = (cycle, stage)
-        used = self._used.get(key, 0)
-        if used >= capacity:
+        used = self._used_now
+        if cycle != self._cycle:
+            self._cycle = cycle
+            for index in range(len(used)):
+                used[index] = 0
+        if used[stage] >= self.stage_fus[stage]:
             return False
-        self._used[key] = used + 1
-        if len(self._used) > 256:
-            self._used = {
-                k: v for k, v in self._used.items() if k[0] >= cycle
-            }
+        used[stage] += 1
         return True

@@ -6,9 +6,8 @@ surfaced so the hierarchy can charge the write-back traffic.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 
 @dataclass
@@ -62,9 +61,13 @@ class Cache:
         if self.num_sets & (self.num_sets - 1):
             raise ValueError(f"{name}: set count must be a power of two")
         self.stats = CacheStats()
-        # Each set: tag -> dirty flag, insertion-ordered oldest-first.
-        self._sets: List[OrderedDict] = [
-            OrderedDict() for _ in range(self.num_sets)
+        self._set_mask = self.num_sets - 1
+        # Each set: tag -> dirty flag.  Plain dicts preserve insertion
+        # order (Python >= 3.7), so the first key is always the LRU
+        # line; re-inserting a key moves it to MRU.  Plain-dict ops are
+        # measurably cheaper than OrderedDict on this hot path.
+        self._sets: List[Dict[int, bool]] = [
+            {} for _ in range(self.num_sets)
         ]
 
     @property
@@ -72,14 +75,31 @@ class Cache:
         """Total data capacity in bytes."""
         return self.num_sets * self.ways * self.line_bytes
 
-    def _locate(self, addr: int) -> Tuple[OrderedDict, int]:
+    def _locate(self, addr: int) -> Tuple[Dict[int, bool], int]:
         line = addr // self.line_bytes
-        return self._sets[line & (self.num_sets - 1)], line
+        return self._sets[line & self._set_mask], line
 
     def probe(self, addr: int) -> bool:
         """Non-destructive lookup; does not touch LRU state or stats."""
         entry_set, tag = self._locate(addr)
         return tag in entry_set
+
+    def probe_tag(self, tag: int) -> bool:
+        """``probe`` with the line number already extracted."""
+        return tag in self._sets[tag & self._set_mask]
+
+    def fill_tag(self, tag: int) -> None:
+        """``fill`` with the line number already extracted."""
+        entry_set = self._sets[tag & self._set_mask]
+        dirty = entry_set.pop(tag, None)
+        if dirty is not None:
+            entry_set[tag] = dirty
+            return
+        if len(entry_set) >= self.ways:
+            victim = next(iter(entry_set))
+            if entry_set.pop(victim):
+                self.stats.writebacks += 1
+        entry_set[tag] = False
 
     def access(self, addr: int, is_write: bool) -> Tuple[bool, bool]:
         """Access the line containing ``addr``.
@@ -88,39 +108,34 @@ class Cache:
             (hit, victim_dirty): whether the access hit, and whether a
             dirty victim line was evicted on the fill.
         """
-        entry_set, tag = self._locate(addr)
+        tag = addr // self.line_bytes
+        entry_set = self._sets[tag & self._set_mask]
+        stats = self.stats
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
-        if tag in entry_set:
-            entry_set.move_to_end(tag)
-            if is_write:
-                entry_set[tag] = True
+            stats.reads += 1
+        dirty = entry_set.pop(tag, None)
+        if dirty is not None:
+            # Re-insert at MRU (end of the insertion order).
+            entry_set[tag] = dirty or is_write
             return True, False
         if is_write:
-            self.stats.write_misses += 1
+            stats.write_misses += 1
         else:
-            self.stats.read_misses += 1
+            stats.read_misses += 1
         victim_dirty = False
         if len(entry_set) >= self.ways:
-            _, victim_dirty = entry_set.popitem(last=False)
+            victim = next(iter(entry_set))
+            victim_dirty = entry_set.pop(victim)
             if victim_dirty:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
         entry_set[tag] = is_write
         return False, victim_dirty
 
     def fill(self, addr: int) -> None:
         """Install a line without touching demand statistics (prefetch)."""
-        entry_set, tag = self._locate(addr)
-        if tag in entry_set:
-            entry_set.move_to_end(tag)
-            return
-        if len(entry_set) >= self.ways:
-            _, victim_dirty = entry_set.popitem(last=False)
-            if victim_dirty:
-                self.stats.writebacks += 1
-        entry_set[tag] = False
+        self.fill_tag(addr // self.line_bytes)
 
     def invalidate_all(self) -> None:
         """Drop every line (used by tests)."""

@@ -65,14 +65,27 @@ class CacheHierarchy:
                         config.line_bytes)
         self.mem_accesses = 0
         self.prefetches = 0
+        # Completion cycle of the latest outstanding refill the core
+        # reported (a one-entry MSHR view; the model is latency-only,
+        # so the timestamp exists purely for fast-forward horizon
+        # queries and never affects access timing).
+        self._refill_ready = 0
         # Tagged prefetching: lines brought in by the prefetcher are
         # remembered; a demand hit on one re-arms the prefetcher so a
         # steady stream stays ahead of demand (miss-free steady state,
         # like a real stride prefetcher on libquantum/lbm-class code).
         self._prefetched_lines = set()
+        # AccessResult is frozen and latencies are fixed per hierarchy,
+        # so the three possible outcomes are shared singletons — one
+        # allocation per *hierarchy* instead of one per access.
+        self._l1_hit_result = AccessResult(config.l1_latency, True, False)
+        self._l2_hit_result = AccessResult(
+            config.l1_latency + config.l2_latency, False, True)
+        self._miss_result = AccessResult(
+            config.l1_latency + config.l2_latency + config.mem_latency,
+            False, False)
 
     def _access(self, l1, addr: int, is_write: bool) -> AccessResult:
-        config = self.config
         l1_hit, l1_victim_dirty = l1.access(addr, is_write)
         if l1_victim_dirty:
             # Charge the victim write-back as an L2 write event.  The
@@ -80,17 +93,29 @@ class CacheHierarchy:
             # event is recorded — L2 contents are unaffected.
             self.l2.stats.writes += 1
         if l1_hit:
-            return AccessResult(config.l1_latency, True, False)
+            return self._l1_hit_result
         l2_hit, l2_victim_dirty = self.l2.access(addr, False)
         if l2_victim_dirty:
             self.mem_accesses += 1
         if l2_hit:
-            latency = config.l1_latency + config.l2_latency
-            return AccessResult(latency, False, True)
+            return self._l2_hit_result
         self.mem_accesses += 1
-        latency = (config.l1_latency + config.l2_latency
-                   + config.mem_latency)
-        return AccessResult(latency, False, False)
+        return self._miss_result
+
+    def note_refill(self, ready_cycle: int) -> None:
+        """The core stalled on a miss whose line lands at ``ready_cycle``."""
+        if ready_cycle > self._refill_ready:
+            self._refill_ready = ready_cycle
+
+    def fill_horizon(self, cycle: int) -> "int | None":
+        """Completion cycle of the outstanding refill, if still pending.
+
+        The fast-forward kernel folds this into its event horizon: a
+        core sleeping on a DRAM/L2 fill may jump directly to the cycle
+        the line arrives.
+        """
+        ready = self._refill_ready
+        return ready if ready >= cycle else None
 
     def fetch(self, pc: int) -> AccessResult:
         """Instruction fetch of the line containing ``pc``."""
@@ -131,16 +156,19 @@ class CacheHierarchy:
         Prefetches are modelled as timely and free of port contention;
         they are counted (for the energy model) but charged no latency.
         """
-        line_bytes = self.config.line_bytes
-        line = addr // line_bytes
-        if len(self._prefetched_lines) > 4096:
-            self._prefetched_lines.clear()
+        line = addr // self.config.line_bytes
+        prefetched = self._prefetched_lines
+        if len(prefetched) > 4096:
+            prefetched.clear()
+        l1d = self.l1d
+        l2 = self.l2
+        installed = 0
         for step in range(1, self.config.prefetch_degree + 1):
             target_line = line + step
-            self._prefetched_lines.add(target_line)
-            target = target_line * line_bytes
-            if self.l1d.probe(target):
+            prefetched.add(target_line)
+            if l1d.probe_tag(target_line):
                 continue
-            self.prefetches += 1
-            self.l1d.fill(target)
-            self.l2.fill(target)
+            installed += 1
+            l1d.fill_tag(target_line)
+            l2.fill_tag(target_line)
+        self.prefetches += installed

@@ -156,6 +156,34 @@ class Observability:
             else:
                 self._fq_hist.observe(len(core.issue_q))
 
+    def on_cycles(self, core, cycles: int) -> None:
+        """Bulk hook for ``cycles`` fast-forwarded idle ticks.
+
+        The core guarantees the skipped ticks are identical zero-commit
+        cycles with frozen state, so the stall cause and every sampled
+        occupancy are computed once and charged ``cycles`` times —
+        bit-identical to calling :meth:`on_cycle` per skipped tick.
+        """
+        cause = None
+        if self.stalls is not None or self.timeline is not None:
+            cause = core._stall_cause()
+            if self.stalls is not None:
+                self.stalls.charge(cause, cycles)
+        if self.timeline is not None:
+            self.timeline.on_cycles(core, cause, cycles)
+        if self.metrics is not None:
+            iq_hist = self._iq_hist
+            if iq_hist is not None:
+                iq_hist.observe_many(len(core.iq), cycles)
+                self._rob_hist.observe_many(len(core.rob), cycles)
+                lsq = core.lsq
+                self._lq_hist.observe_many(
+                    lsq.load_capacity - lsq.loads_free, cycles)
+                self._sq_hist.observe_many(
+                    lsq.store_capacity - lsq.stores_free, cycles)
+            else:
+                self._fq_hist.observe_many(len(core.issue_q), cycles)
+
     def finalize(self, core) -> None:
         """Harvest per-core counters and publish onto ``core.stats``."""
         stats = core.stats

@@ -291,6 +291,14 @@ def append_trajectory(manifest: RunManifest, path: str) -> Dict:
             for model, row in sorted(models.items())
         },
     }
+    return append_history_entry(entry, path)
+
+
+def append_history_entry(entry: Dict, path: str) -> Dict:
+    """Append ``entry`` to the ``{"entries": [...]}`` JSON history at
+    ``path`` (created on first use); returns the entry.  Shared by the
+    ``--trajectory`` IPC/energy history and the simspeed throughput
+    history (BENCH_simspeed.json) so both files read identically."""
     try:
         with open(path) as handle:
             history = json.load(handle)

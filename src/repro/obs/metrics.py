@@ -67,6 +67,12 @@ class Histogram:
         self.total += value
         self.samples += 1
 
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` identical samples (fast-forwarded cycles)."""
+        self.counts[bisect_left(self.bounds, value)] += count
+        self.total += value * count
+        self.samples += count
+
     @property
     def mean(self) -> float:
         return self.total / self.samples if self.samples else 0.0
@@ -115,6 +121,9 @@ class _NullHistogram:
     mean = 0.0
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, value: float, count: int) -> None:
         pass
 
 

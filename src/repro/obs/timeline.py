@@ -202,6 +202,29 @@ class TimelineCollector:
         if self._committed >= self.interval:
             self._take_sample(core)
 
+    def on_cycles(self, core, cause: Optional[str],
+                  cycles: int) -> None:
+        """Bulk accumulation for ``cycles`` fast-forwarded idle ticks.
+
+        The skipped ticks commit nothing and freeze every occupancy, so
+        the accumulators advance by ``cycles`` times the current values.
+        No interval boundary can fall inside the gap: sampling is
+        commit-gated and ``_committed`` does not change here.
+        """
+        self._cycles += cycles
+        if cause is not None:
+            stalls = self._stalls
+            stalls[cause] = stalls.get(cause, 0) + cycles
+        if self._has_backend:
+            self._occ_iq += len(core.iq) * cycles
+            self._occ_rob += len(core.rob) * cycles
+            lsq = core.lsq
+            self._occ_lq += (lsq.load_capacity - lsq.loads_free) * cycles
+            self._occ_sq += (
+                lsq.store_capacity - lsq.stores_free) * cycles
+        else:
+            self._occ_fq += len(core.issue_q) * cycles
+
     def finalize(self, core) -> None:
         """Flush the trailing partial interval (if it saw any cycles)."""
         if self._cycles:

@@ -2,19 +2,25 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict
 
 from repro.isa.registers import Reg
 
 
-@dataclass(frozen=True)
 class RenameUndo:
     """Record to reverse one rename on a pipeline squash."""
 
-    logical: Reg
-    old_physical: int
-    new_physical: int
+    __slots__ = ("logical", "old_physical", "new_physical")
+
+    def __init__(self, logical: Reg, old_physical: int,
+                 new_physical: int):
+        self.logical = logical
+        self.old_physical = old_physical
+        self.new_physical = new_physical
+
+    def __repr__(self) -> str:
+        return (f"RenameUndo({self.logical!r}, "
+                f"{self.old_physical} -> {self.new_physical})")
 
 
 class RAT:
@@ -26,33 +32,43 @@ class RAT:
     """
 
     def __init__(self, initial_map: Dict[Reg, int]):
-        self._map: Dict[Reg, int] = dict(initial_map)
+        # Flat list indexed by logical register index — the map is
+        # read/written once per source/destination operand on the
+        # rename hot path, so it avoids dict hashing entirely.
+        self._regs = tuple(sorted(initial_map, key=lambda r: r.index))
+        size = self._regs[-1].index + 1 if self._regs else 0
+        self._map: list = [0] * size
+        for reg, preg in initial_map.items():
+            self._map[reg.index] = preg
         self.reads = 0
         self.writes = 0
 
     def lookup(self, logical: Reg) -> int:
         """Read the current mapping (counts a RAT read port access)."""
         self.reads += 1
-        return self._map[logical]
+        return self._map[logical.index]
 
     def rename(self, logical: Reg, new_physical: int) -> RenameUndo:
         """Point ``logical`` at ``new_physical``; returns the undo record."""
-        old = self._map[logical]
-        self._map[logical] = new_physical
+        index = logical.index
+        table = self._map
+        old = table[index]
+        table[index] = new_physical
         self.writes += 1
         return RenameUndo(logical=logical, old_physical=old,
                           new_physical=new_physical)
 
     def undo(self, record: RenameUndo) -> None:
         """Reverse one rename (squash path; youngest-first)."""
-        current = self._map[record.logical]
+        index = record.logical.index
+        current = self._map[index]
         if current != record.new_physical:
             raise RuntimeError(
                 "undo out of order: expected "
                 f"{record.new_physical}, found {current}"
             )
-        self._map[record.logical] = record.old_physical
+        self._map[index] = record.old_physical
 
     def snapshot(self) -> Dict[Reg, int]:
         """Copy of the current map (architectural checkpoint for tests)."""
-        return dict(self._map)
+        return {reg: self._map[reg.index] for reg in self._regs}

@@ -7,7 +7,6 @@ releases the previous mapping of each destination.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.isa.instruction import DynInst
@@ -20,12 +19,11 @@ from repro.isa.registers import (
     int_reg,
 )
 from repro.rename.freelist import FreeList
-from repro.rename.prf import PhysicalRegisterFile
+from repro.rename.prf import NEVER, PhysicalRegisterFile
 from repro.rename.rat import RAT, RenameUndo
 from repro.rename.scoreboard import Scoreboard
 
 
-@dataclass(frozen=True)
 class RenamedOperands:
     """Physical operands of one renamed instruction.
 
@@ -34,14 +32,29 @@ class RenamedOperands:
     the RAT update on a squash; ``old_dest`` is released at commit.
     ``eliminated`` marks a RENO-eliminated move: ``dest`` then *aliases*
     the source's physical register instead of naming a fresh one.
+
+    A plain slotted record (one is built per renamed instruction, on
+    the simulator's hottest path).
     """
 
-    srcs: Tuple[Tuple[RegClass, int], ...]
-    dest_cls: Optional[RegClass]
-    dest: Optional[int]
-    old_dest: Optional[int]
-    undo: Optional[RenameUndo]
-    eliminated: bool = False
+    __slots__ = ("srcs", "dest_cls", "dest", "old_dest", "undo",
+                 "eliminated")
+
+    def __init__(
+        self,
+        srcs: Tuple[Tuple[RegClass, int], ...],
+        dest_cls: Optional[RegClass],
+        dest: Optional[int],
+        old_dest: Optional[int],
+        undo: Optional[RenameUndo],
+        eliminated: bool = False,
+    ):
+        self.srcs = srcs
+        self.dest_cls = dest_cls
+        self.dest = dest
+        self.old_dest = old_dest
+        self.undo = undo
+        self.eliminated = eliminated
 
 
 class Renamer:
@@ -108,19 +121,37 @@ class Renamer:
 
     def rename(self, inst: DynInst) -> RenamedOperands:
         """Rename ``inst``'s operands; caller must check can_rename."""
-        srcs = tuple(
-            (src.cls, self.rat[src.cls].lookup(src)) for src in inst.srcs
-        )
-        if inst.dest is None:
-            return RenamedOperands(srcs=srcs, dest_cls=None, dest=None,
-                                   old_dest=None, undo=None)
-        cls = inst.dest.cls
-        new_preg = self.free[cls].allocate()
+        rat = self.rat
+        inst_srcs = inst.srcs
+        if inst_srcs:
+            src_list = []
+            for src in inst_srcs:
+                table = rat[src.cls]
+                table.reads += 1
+                src_list.append((src.cls, table._map[src.index]))
+            srcs = tuple(src_list)
+        else:
+            srcs = ()
+        dest = inst.dest
+        if dest is None:
+            return RenamedOperands(srcs, None, None, None, None)
+        cls = dest.cls
+        # Inlined FreeList.allocate / PRF.mark_pending / RAT.rename —
+        # one rename per committed instruction makes this the hottest
+        # allocation site in the simulator.
+        new_preg = self.free[cls]._free.popleft()
         self._refcount[cls][new_preg] = 1
-        self.prf[cls].mark_pending(new_preg)
-        undo = self.rat[cls].rename(inst.dest, new_preg)
-        return RenamedOperands(srcs=srcs, dest_cls=cls, dest=new_preg,
-                               old_dest=undo.old_physical, undo=undo)
+        prf = self.prf[cls]
+        prf.ready_cycles[new_preg] = NEVER
+        prf._written[new_preg] = NEVER
+        table = rat[cls]
+        index = dest.index
+        tmap = table._map
+        old_preg = tmap[index]
+        tmap[index] = new_preg
+        table.writes += 1
+        undo = RenameUndo(dest, old_preg, new_preg)
+        return RenamedOperands(srcs, cls, new_preg, old_preg, undo)
 
     def rename_move(self, inst: DynInst) -> RenamedOperands:
         """RENO move elimination (paper Section VII-C).

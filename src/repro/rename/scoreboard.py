@@ -21,6 +21,9 @@ class Scoreboard:
 
     def __init__(self, prf: PhysicalRegisterFile):
         self._prf = prf
+        # The PRF's written-cycle list is mutated in place and never
+        # rebound, so binding it once keeps is_ready to one list index.
+        self._written = prf._written
         self.reads = 0
 
     @property
@@ -31,4 +34,4 @@ class Scoreboard:
     def is_ready(self, reg_id: int, cycle: int) -> bool:
         """Check one operand's availability bit (counts a read)."""
         self.reads += 1
-        return self._prf.is_ready(reg_id, cycle)
+        return self._written[reg_id] <= cycle

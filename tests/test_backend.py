@@ -24,6 +24,9 @@ class FakeEntry:
     inst: Optional[DynInst] = None
     mem_executed: bool = False
     lsq_written: bool = False
+    # The IQ's lazy-removal bookkeeping reads these flags.
+    issued: bool = False
+    squashed: bool = False
 
 
 def _load(seq, addr):

@@ -1,0 +1,82 @@
+"""Unit tests for the simspeed telemetry/guard module (no timing —
+the measured numbers live in benchmarks/ and the CI guard)."""
+
+import json
+
+import pytest
+
+from repro.experiments import simspeed
+from repro.obs.diffrun import append_history_entry
+
+
+class TestMath:
+    def test_geomean(self):
+        assert simspeed.geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert simspeed.geomean([]) == 0.0
+        assert simspeed.geomean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_pair_speedups_skips_unknown_pairs(self):
+        current = {"BIG/mcf": 200.0, "BIG/new": 100.0}
+        baseline = {"BIG/mcf": 100.0}
+        assert simspeed.pair_speedups(current, baseline) == {
+            "BIG/mcf": 2.0}
+
+    def test_family_speedups_are_harmonic(self):
+        # 1x on a 100-insts/s benchmark and 3x on an equally-sized
+        # slow one: total-time aggregation, not the 2.0 arithmetic
+        # mean of the ratios.
+        current = {"BIG/fast": 100.0, "BIG/slow": 300.0}
+        baseline = {"BIG/fast": 100.0, "BIG/slow": 100.0}
+        expected = (1 / 100 + 1 / 100) / (1 / 100 + 1 / 300)
+        got = simspeed.family_speedups(current, baseline)
+        assert got == {"BIG": pytest.approx(expected)}
+
+    def test_family_speedups_benchmark_filter(self):
+        current = {"BIG/mcf": 300.0, "BIG/hmmer": 100.0}
+        baseline = {"BIG/mcf": 100.0, "BIG/hmmer": 100.0}
+        got = simspeed.family_speedups(current, baseline,
+                                       benchmarks=("mcf",))
+        assert got == {"BIG": pytest.approx(3.0)}
+
+
+class TestEntry:
+    def test_build_entry_and_history_roundtrip(self, tmp_path):
+        pairs = {f"{m}/{b}": 100.0
+                 for m in simspeed.SUITE_MODELS
+                 for b in simspeed.SUITE_BENCHMARKS}
+        baseline = {pair: 50.0 for pair in pairs}
+        entry = simspeed.build_entry(
+            pairs, baseline, "pinned", measure=1000, warmup=100,
+            rounds=2, wall_seconds=1.5)
+        assert entry["geomean_speedup"] == pytest.approx(2.0)
+        assert entry["guard_geomean_speedup"] == pytest.approx(2.0)
+        assert entry["guard_benchmarks"] == list(
+            simspeed.GUARD_BENCHMARKS)
+        assert set(entry["family_speedups"]) == set(
+            simspeed.SUITE_MODELS)
+        path = tmp_path / "BENCH_simspeed.json"
+        append_history_entry(entry, str(path))
+        append_history_entry(entry, str(path))
+        history = json.loads(path.read_text())
+        assert len(history["entries"]) == 2
+        assert history["entries"][0] == entry
+
+    def test_pinned_rates_cover_the_suite(self):
+        for model in simspeed.SUITE_MODELS:
+            for bench in simspeed.SUITE_BENCHMARKS:
+                assert simspeed.SEED_RATES[f"{model}/{bench}"] > 0
+
+    def test_report_formats(self):
+        pairs = {"BIG/mcf": 200.0}
+        entry = simspeed.build_entry(pairs, {"BIG/mcf": 100.0},
+                                     "pinned", 1000, 100, 1, 0.1)
+        text = simspeed.format_report(entry)
+        assert "BIG/mcf" in text and "2.00x" in text
+
+
+class TestCLI:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(SystemExit):
+            simspeed.main(["--measure", "0"])
+        with pytest.raises(SystemExit):
+            simspeed.main(["--guard", "-1"])
