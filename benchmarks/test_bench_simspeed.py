@@ -215,6 +215,38 @@ def test_bench_timeline_disabled_overhead(benchmark):
     )
 
 
+def test_bench_topdown_disabled_overhead(benchmark):
+    """Guard: top-down slot accounting must be free when off.
+
+    The topdown collector shares the per-cycle observability hook with
+    the stall and timeline collectors; an unobserved run still pays
+    only the one ``is None`` test.  This times the overhead mix
+    without observability against the same mix with a topdown-only
+    bundle (per-cycle slot attribution, squash-debt bookkeeping,
+    energy-by-class finalisation) and asserts the disabled path is at
+    least as fast — within the 5 % timing-noise allowance.
+    """
+    from repro.obs import TopDownCollector
+
+    def topdown_bundle():
+        return Observability(metrics=False, stalls=False,
+                             topdown=TopDownCollector())
+
+    _simulate_mix(MEASURE, WARMUP)  # warm the per-process trace memo
+    disabled = run_once(benchmark, _time_mix, None)
+    enabled = _time_mix(topdown_bundle)
+    overhead = disabled / enabled - 1.0
+    if benchmark.stats is not None:
+        benchmark.extra_info["disabled_seconds"] = disabled
+        benchmark.extra_info["topdown_seconds"] = enabled
+        benchmark.extra_info["disabled_vs_topdown_overhead"] = overhead
+    assert overhead < 0.05, (
+        f"topdown-disabled run was {overhead:.1%} slower than a "
+        f"topdown-observed run; the disabled path must do no slot "
+        f"accounting work (expected < 5%)"
+    )
+
+
 def test_bench_validate_disabled_overhead(benchmark):
     """Guard: differential validation must be free when off.
 

@@ -176,6 +176,20 @@ class ClusteredCore(OutOfOrderCore):
             ]
         return issued_total
 
+    def _topdown_leaf(self, cause: str) -> str:
+        """An ``operand_wait`` head whose cluster-aware wake cycle has
+        already passed is not waiting on operands at all — it lost the
+        per-cluster select (issue-port starvation).  Fast-forward
+        stable: the wake heap's head bounds the kernel's jump horizon,
+        so this predicate cannot flip inside a skipped gap."""
+        if cause == "operand_wait":
+            head = self.rob.head()
+            if (head is not None and not head.issued and not head.done
+                    and head.issue_ready >= 0
+                    and self._entry_wake(head) <= self.cycle):
+                return "backend_bound.core.fu_port"
+        return super()._topdown_leaf(cause)
+
     def _count_cross_cluster(self, entry: InFlight) -> None:
         for cls, preg in entry.renamed.srcs:
             producer_cluster = self._preg_cluster.get((cls, preg))

@@ -318,6 +318,21 @@ class FXACore(OutOfOrderCore):
         if entry.inst.is_branch:
             stats.ixu_branches += 1
 
+    def _topdown_leaf(self, cause: str) -> str:
+        """IXU-executed entries never dispatch into the IQ, so the
+        flat taxonomy reports a not-done IXU head as ``frontend_fill``
+        (``issue_ready`` stays unset).  Its completion is scheduled,
+        though — classify by what it actually waits on: the memory
+        sub-tree for loads, operand/writeback latency otherwise."""
+        if cause == "frontend_fill":
+            head = self.rob.head()
+            if (head is not None and not head.done
+                    and head.executed_in_ixu):
+                if head.inst.is_load:
+                    return self._memory_bound_leaf(head)
+                return "backend_bound.core.iq_not_ready"
+        return super()._topdown_leaf(cause)
+
     def _prf_write_cycle(self, entry: InFlight) -> int:
         """IXU results reach the PRF only after exiting the IXU
         (paper Section II-B), not when they become bypassable."""

@@ -26,7 +26,12 @@ from repro.mem.hierarchy import CacheHierarchy
 
 from repro.core import kernel
 from repro.core.kernel import NO_EVENT
-from repro.core.ooo import DEADLOCK_LIMIT, SimulationError
+from repro.core.ooo import (
+    DEADLOCK_LIMIT,
+    SimulationError,
+    _TOPDOWN_LEAVES,
+    memory_bound_leaf,
+)
 
 #: Store-buffer entries kept for forwarding.
 STORE_BUFFER_DEPTH = 8
@@ -96,6 +101,13 @@ class InOrderCore:
         # load (distinguishes dcache stalls from ALU operand waits).
         self._load_dest: List[bool] = (
             [False] * (NUM_INT_REGS + NUM_FP_REGS)
+        )
+        # Total latency of the last writer of each register (frozen at
+        # execute time): lets the top-down collector classify a
+        # load-operand stall by miss level without consulting the
+        # remaining wait, which would diverge under fast-forward.
+        self._load_wait: List[int] = (
+            [0] * (NUM_INT_REGS + NUM_FP_REGS)
         )
         if obs is not None:
             obs.attach(self)
@@ -346,6 +358,7 @@ class InOrderCore:
         if flat is not None:
             self._reg_ready[flat] = complete
             self._load_dest[flat] = inst.is_load
+            self._load_wait[flat] = complete - cycle
             self._rf_writes += 1
             self.bypass.broadcast()
         self._completion_counter += 1
@@ -418,6 +431,41 @@ class InOrderCore:
                 return "icache_miss"
             return "branch_recovery"
         return "frontend_fill"
+
+    # ------------------------------------------------------------------
+    # Top-down slot refinement (read by repro.obs.topdown)
+    # ------------------------------------------------------------------
+
+    def _topdown_width(self) -> int:
+        """In-order issue == commit, so the slot budget is the issue
+        width."""
+        return self.config.issue_width
+
+    def _topdown_leaf(self, cause: str) -> str:
+        """Flat cause -> slot-tree leaf.  ``dcache_miss`` re-walks the
+        head's sources (the same scan ``_stall_cause`` did) and
+        classifies the blocking load by its frozen total latency;
+        ``other`` on this core is exactly the FU structural-conflict
+        path (head ready, operands ready, pool refused)."""
+        if cause == "dcache_miss":
+            entry = self.issue_q[0] if self.issue_q else None
+            if entry is not None:
+                cycle = self.cycle
+                reg_ready = self._reg_ready
+                for flat in entry.inst.src_flats:
+                    if reg_ready[flat] > cycle and self._load_dest[flat]:
+                        return memory_bound_leaf(
+                            self.config.hierarchy,
+                            self._load_wait[flat])
+            return "backend_bound.memory.l1d_bound"
+        if cause == "branch_recovery":
+            if (self.waiting_branch is None
+                    and self._fetch_stall_kind == "redirect"):
+                return "frontend_bound.redirect"
+            return "bad_speculation.branch_recovery"
+        if cause == "other":
+            return "backend_bound.core.fu_port"
+        return _TOPDOWN_LEAVES.get(cause, "backend_bound.core.other")
 
     # ------------------------------------------------------------------
 

@@ -51,6 +51,32 @@ from repro.rename.prf import NEVER
 #: FP arithmetic classes the commit stage counts (not FP loads/stores).
 _FP_ARITH = frozenset({OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV})
 
+#: Flat stall causes whose slot-tree leaf needs no per-cycle state
+#: (see ``_topdown_leaf``; dcache_miss and branch_recovery are refined
+#: there, retiring/squash slots are charged by the collector itself).
+_TOPDOWN_LEAVES = {
+    "iq_full": "backend_bound.core.iq_full",
+    "rob_full": "backend_bound.core.rob_full",
+    "lsq_full": "backend_bound.core.lsq_full",
+    "prf_full": "backend_bound.core.prf_full",
+    "operand_wait": "backend_bound.core.iq_not_ready",
+    "icache_miss": "frontend_bound.icache_miss",
+    "frontend_fill": "frontend_bound.queue_empty",
+    "other": "backend_bound.core.other",
+}
+
+
+def memory_bound_leaf(hier, wait: int) -> str:
+    """Bucket a load's total latency into the memory sub-tree.  The
+    thresholds mirror CacheHierarchy's access results (+1 covers the
+    issue->execute cycle): L1 hit <= 1+l1, L2 hit <= 1+l1+l2, else
+    DRAM.  Store-forward hits (latency 1) land in l1d_bound."""
+    if wait <= 1 + hier.l1_latency:
+        return "backend_bound.memory.l1d_bound"
+    if wait <= 1 + hier.l1_latency + hier.l2_latency:
+        return "backend_bound.memory.l2_bound"
+    return "backend_bound.memory.dram_bound"
+
 
 class SimulationError(RuntimeError):
     """The pipeline wedged (a model bug, surfaced loudly)."""
@@ -870,6 +896,44 @@ class OutOfOrderCore:
                 return "icache_miss"
             return "branch_recovery"
         return "frontend_fill"
+
+    # ------------------------------------------------------------------
+    # Top-down slot refinement (read by repro.obs.topdown; never feeds
+    # back into simulation, so the flat _stall_cause taxonomy above —
+    # pinned by the stall-report tests — is left untouched)
+    # ------------------------------------------------------------------
+
+    def _topdown_width(self) -> int:
+        """Slots per cycle the top-down tree accounts (commit
+        bandwidth on the backend cores)."""
+        return self.config.commit_width
+
+    def _memory_bound_leaf(self, entry: Optional[InFlight]) -> str:
+        """Classify a stalled load by its *frozen* total latency
+        (complete - issue cycle), never the remaining wait: the frozen
+        value is constant while the load is in flight, so serial ticks
+        and bulk fast-forward replay attribute identically."""
+        if entry is None or entry.complete_cycle < 0 \
+                or entry.issue_cycle < 0:
+            return "backend_bound.memory.l1d_bound"
+        return memory_bound_leaf(
+            self.config.hierarchy,
+            entry.complete_cycle - entry.issue_cycle)
+
+    def _topdown_leaf(self, cause: str) -> str:
+        """Map a flat stall cause to its slot-tree leaf, refining the
+        two causes that fold distinct bottlenecks together:
+        ``dcache_miss`` splits by the ROB-head load's miss level, and
+        ``branch_recovery`` splits decode-redirect bubbles (frontend)
+        from misprediction recovery (bad speculation)."""
+        if cause == "dcache_miss":
+            return self._memory_bound_leaf(self.rob.head())
+        if cause == "branch_recovery":
+            if (self.waiting_branch is None and self.rob.head() is None
+                    and self._fetch_stall_kind == "redirect"):
+                return "frontend_bound.redirect"
+            return "bad_speculation.branch_recovery"
+        return _TOPDOWN_LEAVES.get(cause, "backend_bound.core.other")
 
     def _on_commit(self, entry: InFlight) -> None:
         """Hook for subclasses (FXA records IXU-execution statistics)."""

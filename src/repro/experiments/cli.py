@@ -17,24 +17,31 @@ Observability (see :mod:`repro.obs`)::
     fxa-experiments headline --stall-report --benchmarks hmmer mcf
     fxa-experiments headline --stall-report-csv stalls.csv
     fxa-experiments headline --metrics-json metrics.json
+    fxa-experiments headline --topdown --benchmarks hmmer mcf
+    fxa-experiments headline --report report.html
     fxa-experiments headline --pipeview trace.kanata.gz
     fxa-experiments headline --timeline tl.json --timeline-report
     fxa-experiments headline --json out.json   # + out.manifest.json
 
 ``--stall-report`` appends a where-did-the-cycles-go breakdown per
 model (``--stall-report-csv`` / ``--metrics-json`` write the same pass
-machine-readably), ``--pipeview`` writes a Kanata pipeline trace
-loadable by the Konata visualiser (gzipped when the path ends ``.gz``),
-``--timeline`` exports interval telemetry of all four core types as
-Perfetto-loadable JSON (``--timeline-report`` prints the terminal phase
-view), and every ``--json`` run also emits a provenance manifest
-(``--manifest PATH`` writes one explicitly).
+machine-readably), ``--topdown`` prints the hierarchical slot
+accounting and energy-by-class tables (:mod:`repro.obs.topdown`),
+``--report`` writes the self-contained HTML report bundling all of it
+(:mod:`repro.obs.report`; ``--report-baseline`` adds an A/B section),
+``--pipeview`` writes a Kanata pipeline trace loadable by the Konata
+visualiser (gzipped when the path ends ``.gz``), ``--timeline``
+exports interval telemetry of all four core types as Perfetto-loadable
+JSON (``--timeline-report`` prints the terminal phase view), and every
+``--json`` run also emits a provenance manifest (``--manifest PATH``
+writes one explicitly).
 
 Regression gating (see :mod:`repro.obs.diffrun`)::
 
     fxa-experiments headline --baseline old.manifest.json  # exit 3
     fxa-experiments headline --trajectory BENCH_trajectory.json
     repro-exp diff old.manifest.json new.manifest.json
+    repro-exp report new.manifest.json report.html --baseline old...
 """
 
 from __future__ import annotations
@@ -43,7 +50,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import repro
 from repro.core import MODEL_NAMES, model_config
@@ -68,10 +75,14 @@ from repro.obs import (
     RunManifest,
     STALL_CAUSES,
     TimelineCollector,
+    TopDownCollector,
+    format_energy_by_class,
     format_stall_chart,
     format_stall_table,
     format_timeline_report,
+    format_topdown_report,
     manifest_path_for,
+    merge_topdown_payloads,
 )
 from repro.obs.diffrun import (
     DiffThresholds,
@@ -124,25 +135,33 @@ def _run_one(name: str, benchmarks: Optional[List[str]],
 
 
 def _obs_pass(benchmarks: Optional[List[str]], measure: int,
-              warmup: int, with_metrics: bool) -> Dict:
+              warmup: int, with_metrics: bool,
+              with_topdown: bool = False) -> Tuple[Dict, Dict]:
     """One observed re-simulation of every model, shared by
-    ``--stall-report``, ``--stall-report-csv`` and ``--metrics-json``.
+    ``--stall-report``, ``--stall-report-csv``, ``--metrics-json``,
+    ``--topdown`` and ``--report``.
 
     Observed runs bypass both caches (the cached records were produced
     without attribution), so this re-simulates; prefer a ``--benchmarks``
-    subset for interactive use.  Returns {(model, benchmark):
-    CoreStats}; metrics histograms are only collected when something
+    subset for interactive use.  Returns ({(model, benchmark):
+    CoreStats}, {(model, benchmark): TopDownCollector}); metrics
+    histograms and the top-down tree are only collected when something
     will consume them.
     """
     observed: Dict = {}
+    topdowns: Dict = {}
     for model in _OBS_MODELS:
         config = model_config(model)
         for benchmark in benchmarks or ALL_BENCHMARKS:
-            obs = Observability(metrics=with_metrics)
+            topdown = TopDownCollector() if with_topdown else None
+            obs = Observability(metrics=with_metrics, topdown=topdown)
             run = runner.simulate(config, benchmark, measure, warmup,
                                   obs=obs)
             observed[(model, benchmark)] = run.stats
-    return observed
+            if topdown is not None:
+                topdown.benchmark = benchmark
+                topdowns[(model, benchmark)] = topdown
+    return observed, topdowns
 
 
 def _format_stall_report(observed: Dict,
@@ -183,9 +202,11 @@ def _write_stall_csv(observed: Dict, path: str) -> None:
             ])
 
 
-def _write_metrics_json(observed: Dict, path: str) -> None:
+def _write_metrics_json(observed: Dict, topdowns: Dict,
+                        path: str) -> None:
     """Full metrics registry (counters + occupancy histograms) per
-    observed run, as JSON."""
+    observed run, as JSON; includes the top-down slot tree and
+    energy-by-class attribution when the pass collected them."""
     payload = [
         {
             "model": model,
@@ -195,6 +216,9 @@ def _write_metrics_json(observed: Dict, path: str) -> None:
             "ipc": stats.ipc,
             "stalls": stats.stalls,
             "metrics": stats.metrics,
+            "topdown": (
+                topdowns[(model, benchmark)].to_dict()
+                if (model, benchmark) in topdowns else None),
         }
         for (model, benchmark), stats in observed.items()
     ]
@@ -237,13 +261,17 @@ def _timeline_pass(args, started_clock: float):
     return collectors, spans
 
 
-def _build_aggregates(served, job_records, observed: Dict) -> List[Dict]:
+def _build_aggregates(served, job_records, observed: Dict,
+                      topdowns: Dict) -> List[Dict]:
     """Manifest aggregates: one entry per (model, benchmark) run the
     sweep served (cache replays included).
 
     ``wall_seconds``/``insts_per_second`` come from the job records of
-    freshly simulated jobs (0.0 for cache replays); the stall mix is
-    taken from the observed pass when one ran.
+    freshly simulated jobs (0.0 for cache replays); the stall mix,
+    fast-forward engagement and top-down payload are taken from the
+    observed pass when one ran (``topdown`` is None and
+    ``ff_skipped_cycles`` falls back to the observed metrics counter,
+    then 0, otherwise).
     """
     wall: Dict = {}
     for record in job_records:
@@ -257,6 +285,14 @@ def _build_aggregates(served, job_records, observed: Dict) -> List[Dict]:
         observed_stats = observed.get(key)
         stalls = (observed_stats.stalls if observed_stats is not None
                   else run.stats.stalls)
+        topdown = topdowns.get(key)
+        if topdown is not None:
+            ff_skipped = topdown.ff_skipped
+        elif observed_stats is not None and observed_stats.metrics:
+            ff_skipped = observed_stats.metrics.get(
+                "counters", {}).get("cycles.fastforwarded", 0)
+        else:
+            ff_skipped = 0
         entries.append({
             "model": run.model,
             "benchmark": run.benchmark,
@@ -271,8 +307,22 @@ def _build_aggregates(served, job_records, observed: Dict) -> List[Dict]:
             "insts_per_second": (
                 run.stats.committed / wall_seconds
                 if wall_seconds else 0.0),
+            "ff_skipped_cycles": ff_skipped,
+            "topdown": (topdown.to_dict()
+                        if topdown is not None else None),
         })
     return entries
+
+
+def _merge_topdowns(topdowns: Dict) -> Dict[str, Dict]:
+    """Collapse the observed pass's per-(model, benchmark) collectors
+    into one merged payload per model (the suite-level view the
+    terminal tree and the HTML report render)."""
+    per_model: Dict[str, List[Dict]] = {}
+    for (model, _benchmark), collector in sorted(topdowns.items()):
+        per_model.setdefault(model, []).append(collector.to_dict())
+    return {model: merge_topdown_payloads(payloads)
+            for model, payloads in per_model.items()}
 
 
 def _write_pipeview(args) -> str:
@@ -485,7 +535,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--metrics-json", metavar="PATH", default=None,
         help="Write the full metrics registry (counters + occupancy "
-             "histograms) of an observed pass as JSON.",
+             "histograms) of an observed pass as JSON, including the "
+             "top-down slot tree per run.",
+    )
+    parser.add_argument(
+        "--topdown", action="store_true",
+        help="Print the TMA-style top-down slot-accounting tree "
+             "(retiring IXU/OXU, bad speculation, frontend/backend "
+             "bound) and the energy-by-class table per model; shares "
+             "the --stall-report simulation pass.",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="Write a self-contained static HTML report (provenance, "
+             "aggregates, top-down trees, energy by class, stall mix, "
+             "timeline sparklines) to PATH.",
+    )
+    parser.add_argument(
+        "--report-baseline", metavar="MANIFEST", default=None,
+        help="Baseline manifest for the --report A/B section "
+             "(rendered with the same differ as --baseline; does not "
+             "gate the exit code).",
     )
     parser.add_argument(
         "--timeline", metavar="PATH", default=None,
@@ -638,6 +708,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not baseline_manifest.aggregates:
             parser.error(f"--baseline: {args.baseline} has no "
                          "aggregates (older harness version?)")
+    report_baseline_manifest = None
+    if args.report_baseline:
+        if not args.report:
+            parser.error("--report-baseline requires --report")
+        try:
+            report_baseline_manifest = RunManifest.read(
+                args.report_baseline)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            parser.error(f"--report-baseline: cannot load "
+                         f"{args.report_baseline}: {error}")
     started_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     started_clock = time.time()
     runner.pop_job_records()  # drain stale accounting (tests, REPLs)
@@ -677,25 +757,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
             collected[name] = results
         observed: Dict = {}
+        topdowns: Dict = {}
         if (args.stall_report or args.stall_report_csv
-                or args.metrics_json):
+                or args.metrics_json or args.topdown or args.report):
             started = time.time()
-            observed = _obs_pass(args.benchmarks, args.measure,
-                                 args.warmup,
-                                 with_metrics=bool(args.metrics_json))
+            observed, topdowns = _obs_pass(
+                args.benchmarks, args.measure, args.warmup,
+                with_metrics=bool(args.metrics_json),
+                with_topdown=bool(args.topdown or args.report
+                                  or args.metrics_json))
             _staged("observability pass", started)
         if args.stall_report:
             print(_format_stall_report(observed, args.benchmarks))
+            print()
+        if args.topdown:
+            merged = _merge_topdowns(topdowns)
+            print(format_topdown_report(merged))
+            print()
+            print(format_energy_by_class(merged))
             print()
         if args.stall_report_csv:
             _write_stall_csv(observed, args.stall_report_csv)
             print(f"stall report CSV written to {args.stall_report_csv}")
         if args.metrics_json:
-            _write_metrics_json(observed, args.metrics_json)
+            _write_metrics_json(observed, topdowns, args.metrics_json)
             print(f"metrics written to {args.metrics_json}")
         timeline_collectors = []
         timeline_spans: List[Dict] = []
-        if args.timeline or args.timeline_report:
+        if args.timeline or args.timeline_report or args.report:
             started = time.time()
             timeline_collectors, timeline_spans = _timeline_pass(
                 args, started_clock)
@@ -786,6 +875,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         outputs["profile"] = args.profile_sim
     if args.metrics_json:
         outputs["metrics_json"] = args.metrics_json
+    if args.report:
+        outputs["report"] = args.report
     # Built even with no --manifest/--json: --baseline diffs it and
     # --trajectory appends it.
     manifest = RunManifest(
@@ -817,11 +908,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         ],
         cache=cache_counts,
         outputs=outputs,
-        aggregates=_build_aggregates(served_runs, job_records, observed),
+        aggregates=_build_aggregates(served_runs, job_records, observed,
+                                     topdowns),
     )
     for path in manifest_paths:
         manifest.write(path)
         print(f"run manifest written to {path}")
+    if args.report:
+        from repro.obs.report import write_report
+
+        write_report(
+            args.report, manifest,
+            topdowns=_merge_topdowns(topdowns),
+            timelines=timeline_collectors,
+            baseline=report_baseline_manifest,
+            base_label=args.report_baseline or "baseline")
+        print(f"HTML report written to {args.report}")
     if args.trajectory:
         append_trajectory(manifest, args.trajectory)
         print(f"trajectory appended to {args.trajectory}")

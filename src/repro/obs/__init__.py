@@ -15,8 +15,14 @@ package adds the *why* behind those aggregates, at three granularities:
   IXU coverage/energy every N committed instructions), with a terminal
   phase report, a Perfetto exporter (:mod:`repro.obs.traceevent`), and
   a cross-run regression differ (:mod:`repro.obs.diffrun`);
+* :mod:`repro.obs.topdown` — TMA-style hierarchical issue-slot
+  accounting (retiring IXU/OXU, bad speculation, frontend/backend
+  bound) summing exactly to ``width x cycles``, plus per-instruction-
+  class energy attribution summing to the run's EnergyBreakdown;
 * :mod:`repro.obs.manifest` — a provenance JSON for whole harness
-  invocations (config, code hash, host, pool accounting, cache counts).
+  invocations (config, code hash, host, pool accounting, cache counts);
+* :mod:`repro.obs.report` — a self-contained static HTML report
+  bundling all of the above per manifest (``repro-exp report``).
 
 Everything is **off by default and free when off**: a core built without
 an :class:`Observability` object pays one ``is None`` test per cycle and
@@ -65,6 +71,16 @@ from repro.obs.timeline import (
     detect_phases,
     format_timeline_report,
 )
+from repro.obs.topdown import (
+    ENERGY_CLASSES,
+    SLOT_LEAVES,
+    TopDownCollector,
+    attribute_energy_by_class,
+    format_energy_by_class,
+    format_topdown_report,
+    merge_topdown_payloads,
+    rollup_slots,
+)
 
 
 class Observability:
@@ -77,21 +93,26 @@ class Observability:
             pipeline stages into (None = no trace).
         timeline: A :class:`TimelineCollector` to snapshot interval
             telemetry into (None = no timeline).
+        topdown: A :class:`TopDownCollector` to account every issue
+            slot hierarchically into (None = no top-down tree).
 
     One instance observes one core for one run; the core calls
     :meth:`attach` when built and :meth:`finalize` when its ``run``
     completes, which copies the collected data onto ``core.stats``.
-    (Timeline samples stay on the collector, not on ``stats``, so an
-    observed run's ``CoreStats`` round trip is unchanged.)
+    (Timeline samples and the top-down tree stay on their collectors,
+    not on ``stats``, so an observed run's ``CoreStats`` round trip is
+    unchanged.)
     """
 
     def __init__(self, metrics: bool = True, stalls: bool = True,
                  pipeview: Optional[KanataWriter] = None,
-                 timeline: Optional[TimelineCollector] = None):
+                 timeline: Optional[TimelineCollector] = None,
+                 topdown: Optional[TopDownCollector] = None):
         self.metrics = MetricsRegistry() if metrics else None
         self.stalls = StallCollector() if stalls else None
         self.pipeview = pipeview
         self.timeline = timeline
+        self.topdown = topdown
         self.commit_cycles = 0
         self._attached = False
         self._iq_hist = None
@@ -112,6 +133,8 @@ class Observability:
         self._attached = True
         if self.timeline is not None:
             self.timeline.attach(core)
+        if self.topdown is not None:
+            self.topdown.attach(core)
         metrics = self.metrics
         if metrics is None:
             return
@@ -135,7 +158,8 @@ class Observability:
         cause = None
         if committed:
             self.commit_cycles += 1
-        elif self.stalls is not None or self.timeline is not None:
+        elif (self.stalls is not None or self.timeline is not None
+                or self.topdown is not None):
             # _stall_cause only reads core state, so computing it for
             # the timeline keeps the simulated results bit-identical.
             cause = core._stall_cause()
@@ -143,6 +167,8 @@ class Observability:
                 self.stalls.charge(cause)
         if self.timeline is not None:
             self.timeline.on_cycle(core, committed, cause)
+        if self.topdown is not None:
+            self.topdown.on_cycle(core, committed, cause)
         if self.metrics is not None:
             iq_hist = self._iq_hist
             if iq_hist is not None:
@@ -165,12 +191,15 @@ class Observability:
         bit-identical to calling :meth:`on_cycle` per skipped tick.
         """
         cause = None
-        if self.stalls is not None or self.timeline is not None:
+        if (self.stalls is not None or self.timeline is not None
+                or self.topdown is not None):
             cause = core._stall_cause()
             if self.stalls is not None:
                 self.stalls.charge(cause, cycles)
         if self.timeline is not None:
             self.timeline.on_cycles(core, cause, cycles)
+        if self.topdown is not None:
+            self.topdown.on_cycles(core, cause, cycles)
         if self.metrics is not None:
             iq_hist = self._iq_hist
             if iq_hist is not None:
@@ -189,6 +218,8 @@ class Observability:
         stats = core.stats
         if self.timeline is not None:
             self.timeline.finalize(core)
+        if self.topdown is not None:
+            self.topdown.finalize(core)
         if self.stalls is not None:
             # The in-order core's reported cycle count extends past its
             # last tick to drain in-flight completions; charge that tail
@@ -200,6 +231,10 @@ class Observability:
         if metrics is not None:
             metrics.counter("cycles.total").add(stats.cycles)
             metrics.counter("cycles.commit").add(self.commit_cycles)
+            # Fast-forward engagement: cycles the kernel jumped rather
+            # than ticked (0 when REPRO_NO_FASTFORWARD disables it).
+            metrics.counter("cycles.fastforwarded").add(
+                getattr(core, "_ff_skipped", 0))
             if self.stalls is not None:
                 metrics.counter("cycles.stall").add(self.stalls.total)
             ixu_exec = getattr(core, "_ixu_exec_count", None)
@@ -247,6 +282,14 @@ __all__ = [
     "TimelineCollector",
     "detect_phases",
     "format_timeline_report",
+    "TopDownCollector",
+    "SLOT_LEAVES",
+    "ENERGY_CLASSES",
+    "attribute_energy_by_class",
+    "rollup_slots",
+    "merge_topdown_payloads",
+    "format_topdown_report",
+    "format_energy_by_class",
     "KanataWriter",
     "JobRecord",
     "RunManifest",

@@ -19,6 +19,7 @@ metric change:
 Entry points::
 
     repro-exp diff A.manifest.json B.manifest.json   # console script
+    repro-exp report RUN.manifest.json OUT.html      # HTML report
     fxa-experiments ... --baseline A.manifest.json   # gate a CLI run
 
 and :func:`append_trajectory` accumulates each run's aggregates into a
@@ -337,9 +338,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       help="append the candidate manifest's aggregates "
                            "to this history file")
 
+    report = sub.add_parser(
+        "report", help="render a manifest as a self-contained static "
+                       "HTML report (offline-viewable, no JS/assets)")
+    report.add_argument("manifest", help="run *.manifest.json")
+    report.add_argument("output", help="output HTML path")
+    report.add_argument("--baseline", metavar="MANIFEST", default=None,
+                        help="baseline manifest for an A/B section")
+    report.add_argument("--title", default=None,
+                        help="report title (default derives from the "
+                             "manifest path)")
+
     args = parser.parse_args(argv)
     if args.command == "diff":
         return _cmd_diff(args)
+    if args.command == "report":
+        return _cmd_report(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 
@@ -375,6 +389,31 @@ def _cmd_diff(args) -> int:
         append_trajectory(new, args.trajectory)
         print(f"trajectory appended to {args.trajectory}")
     return 0 if report.ok else EXIT_REGRESSION
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import write_report
+
+    try:
+        manifest = RunManifest.read(args.manifest)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"repro-exp report: cannot load manifest: {exc}",
+              file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = RunManifest.read(args.baseline)
+        except (OSError, json.JSONDecodeError, KeyError,
+                TypeError) as exc:
+            print(f"repro-exp report: cannot load baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+    title = args.title or f"FXA experiment report - {args.manifest}"
+    write_report(args.output, manifest, baseline=baseline,
+                 base_label=args.baseline or "baseline", title=title)
+    print(f"report written to {args.output}")
+    return 0
 
 
 def run() -> None:

@@ -96,12 +96,16 @@ class RunManifest:
     job_records: List[JobRecord] = field(default_factory=list)
     cache: Dict[str, object] = field(default_factory=dict)
     outputs: Dict[str, str] = field(default_factory=dict)
-    # Per-(model, benchmark) result aggregates — what diffrun compares.
+    # Per-(model, benchmark) result aggregates — what diffrun compares
+    # and repro-exp report renders.
     # Entries: {model, benchmark, ipc, cycles, committed, energy_total,
     #           energy_per_instruction, stalls, wall_seconds,
-    #           insts_per_second}; populated for every run the sweep
-    #           served, including cache replays (wall_seconds/
-    #           insts_per_second only for freshly simulated jobs).
+    #           insts_per_second, ff_skipped_cycles, topdown};
+    #           populated for every run the sweep served, including
+    #           cache replays (wall_seconds/insts_per_second only for
+    #           freshly simulated jobs; ff_skipped_cycles and the
+    #           topdown slot/energy payload only when an observed pass
+    #           ran — topdown is None otherwise).
     aggregates: List[Dict] = field(default_factory=list)
 
     def slowest_jobs(self, count: int = 5) -> List[JobRecord]:

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.stats import EventCounts
 from repro.obs.stall import STALL_CAUSES
+from repro.obs.topdown import ClassMix, attribute_energy_by_class
 
 #: Committed instructions per interval sample (the CLI ``--interval``).
 DEFAULT_INTERVAL = 1_000
@@ -69,6 +70,10 @@ class IntervalSample:
     l2_accesses: int = 0
     l2_misses: int = 0
     energy: Dict[str, float] = field(default_factory=dict)
+    # Interval energy re-attributed to instruction classes (IXU/OXU x
+    # ALU/branch/load/store/FP; see repro.obs.topdown) — sums to the
+    # same total as ``energy``.
+    energy_by_class: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -114,6 +119,7 @@ class IntervalSample:
         data["stalls"] = dict(self.stalls)
         data["occupancy"] = dict(self.occupancy)
         data["energy"] = dict(self.energy)
+        data["energy_by_class"] = dict(self.energy_by_class)
         return data
 
     @classmethod
@@ -252,6 +258,16 @@ class TimelineCollector:
         else:
             occupancy = {"frontend_queue": self._occ_fq / cycles}
         prev = self._prev
+        mix = ClassMix(
+            committed=self._committed,
+            loads=now.committed_loads - prev.committed_loads,
+            stores=now.committed_stores - prev.committed_stores,
+            branches=now.committed_branches - prev.committed_branches,
+            fp=now.committed_fp - prev.committed_fp,
+            ixu_executed=now.ixu_executed - prev.ixu_executed,
+            ixu_mem_ops=now.ixu_mem_ops - prev.ixu_mem_ops,
+            ixu_branches=now.ixu_branches - prev.ixu_branches,
+        )
         self.samples.append(IntervalSample(
             index=len(self.samples),
             start_cycle=self._cycle_base,
@@ -273,6 +289,7 @@ class TimelineCollector:
                                   + breakdown.static.get(component, 0.0))
                 for component in breakdown.dynamic
             },
+            energy_by_class=attribute_energy_by_class(breakdown, mix),
         ))
         self._cycle_base += cycles
         self._prev = now
@@ -310,7 +327,12 @@ class _CounterSnapshot:
 
     __slots__ = ("ixu_executed", "branches", "mispredictions",
                  "l1i_misses", "l1d_accesses", "l1d_misses",
-                 "l2_accesses", "l2_misses")
+                 "l2_accesses", "l2_misses",
+                 # Commit-class counters for per-interval energy
+                 # attribution (repro.obs.topdown.ClassMix).
+                 "committed_loads", "committed_stores",
+                 "committed_branches", "committed_fp",
+                 "ixu_mem_ops", "ixu_branches")
 
     def __init__(self):
         for name in self.__slots__:
@@ -323,6 +345,12 @@ class _CounterSnapshot:
         snapshot.ixu_executed = stats.ixu_executed
         snapshot.branches = stats.branches
         snapshot.mispredictions = stats.mispredictions
+        snapshot.committed_loads = stats.committed_loads
+        snapshot.committed_stores = stats.committed_stores
+        snapshot.committed_branches = stats.committed_branches
+        snapshot.committed_fp = stats.committed_fp
+        snapshot.ixu_mem_ops = stats.ixu_mem_ops
+        snapshot.ixu_branches = stats.ixu_branches
         hierarchy = core.hierarchy
         snapshot.l1i_misses = hierarchy.l1i.stats.misses
         snapshot.l1d_accesses = hierarchy.l1d.stats.accesses

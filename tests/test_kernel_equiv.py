@@ -20,6 +20,7 @@ import pytest
 
 from repro.core import build_core, model_config
 from repro.core.kernel import fastforward_enabled
+from repro.obs import Observability, TimelineCollector
 from repro.experiments.runner import (
     clear_cache,
     prefetch,
@@ -89,6 +90,31 @@ class TestFuzzedConfigEquivalence:
             monkeypatch.setenv("REPRO_NO_FASTFORWARD", "1")
             serial = build_core(config).run(list(trace))
             assert fast.to_dict() == serial.to_dict(), config.name
+
+
+class TestTimelineEquivalence:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_interval_samples_bit_identical(self, monkeypatch, model):
+        """The to_dict equivalence above covers end-of-run aggregates;
+        interval telemetry must also match sample-for-sample — the
+        kernel's bulk accumulation (occupancy x skipped, stall cause
+        charged once, per-interval energy attribution) has to equal
+        the serial per-tick path exactly."""
+        trace = list(generate_trace("mcf", 1500, seed=3))
+
+        def sample_stream():
+            timeline = TimelineCollector(interval=200)
+            obs = Observability(metrics=False, stalls=False,
+                                timeline=timeline)
+            build_core(model, obs=obs).run(list(trace))
+            return [s.to_dict() for s in timeline.samples]
+
+        monkeypatch.delenv("REPRO_NO_FASTFORWARD", raising=False)
+        fast = sample_stream()
+        monkeypatch.setenv("REPRO_NO_FASTFORWARD", "1")
+        serial = sample_stream()
+        assert fast  # the workload produced samples to compare
+        assert fast == serial
 
 
 class TestPoolEquivalence:

@@ -1,0 +1,207 @@
+"""Tests for the HTML report (repro.obs.report / ``repro-exp report``
+/ the CLI ``--topdown`` and ``--report`` flags)."""
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.cli import main as cli_main
+from repro.obs import RunManifest
+from repro.obs.diffrun import main as diffrun_main
+from repro.obs.report import render_report, topdowns_from_manifest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+def run_cli(tmp_path, *extra):
+    args = ["headline", "--benchmarks", "hmmer",
+            "--measure", "400", "--warmup", "1500",
+            "--cache-dir", str(tmp_path / "cache")]
+    args.extend(extra)
+    return cli_main(args)
+
+
+def _manifest(**overrides):
+    """A hand-built manifest with one aggregate carrying a topdown
+    payload (no simulation needed)."""
+    data = {
+        "command": ["headline", "--benchmarks", "hmmer"],
+        "experiments": ["headline"],
+        "benchmarks": ["hmmer"],
+        "measure": 400,
+        "warmup": 1500,
+        "code_version": "deadbeef",
+        "started_at": "2026-08-08T12:00:00",
+        "finished_at": "2026-08-08T12:00:05",
+        "wall_seconds": 5.0,
+        "workers": 1,
+        "aggregates": [{
+            "model": "HALF+FX",
+            "benchmark": "hmmer",
+            "ipc": 1.5,
+            "cycles": 1000,
+            "committed": 1500,
+            "energy_total": 2000.0,
+            "energy_per_instruction": 1.333,
+            "stalls": {"lsq_full": 300, "dcache_miss": 100},
+            "wall_seconds": 0.5,
+            "insts_per_second": 3000.0,
+            "ff_skipped_cycles": 250,
+            "topdown": {
+                "model": "HALF+FX", "benchmark": "hmmer",
+                "width": 2, "cycles": 1000, "total_slots": 2000,
+                "slots": {"retiring.ixu": 800, "retiring.oxu": 700,
+                          "backend_bound.core.lsq_full": 500},
+                "ff_skipped_cycles": 250,
+                "unpaid_squash_debt": 0,
+                "energy_by_class": {"ixu.alu": 1200.0,
+                                    "oxu.load": 800.0},
+                "energy_total": 2000.0,
+            },
+        }],
+    }
+    data.update(overrides)
+    return RunManifest.from_dict(data)
+
+
+def _assert_self_contained(html):
+    """Offline criterion: no JS, no external assets of any kind."""
+    assert "<script" not in html
+    for marker in ('href="http', "href='http", 'src="http',
+                   "src='http", "url(", "@import"):
+        assert marker not in html, marker
+
+
+class TestRenderReport:
+    def test_sections_and_self_containment(self):
+        html = render_report(_manifest())
+        _assert_self_contained(html)
+        for section in ("Provenance", "Run aggregates",
+                        "Top-down slot accounting",
+                        "Energy by instruction class",
+                        "Stall-cause mix"):
+            assert section in html, section
+        # Provenance and aggregate values made it in.
+        assert "deadbeef" in html
+        assert "HALF+FX" in html and "hmmer" in html
+        # The slot tree renders hierarchy rows and bars.
+        assert "retiring" in html and "lsq_full" in html
+        assert 'class="bar"' in html
+
+    def test_topdowns_recovered_from_manifest(self):
+        merged = topdowns_from_manifest(_manifest())
+        assert set(merged) == {"HALF+FX"}
+        assert merged["HALF+FX"]["total_slots"] == 2000
+        assert merged["HALF+FX"]["slots"]["retiring.ixu"] == 800
+
+    def test_ab_section_renders_regressions(self):
+        base = _manifest()
+        new = _manifest()
+        new.aggregates[0] = dict(new.aggregates[0],
+                                 ipc=1.0,
+                                 energy_per_instruction=2.0)
+        html = render_report(new, baseline=base,
+                             base_label="base.manifest.json")
+        _assert_self_contained(html)
+        assert "A/B vs baseline" in html
+        assert "regression" in html
+        assert "REGRESSED" in html
+        assert "base.manifest.json" in html
+
+    def test_html_escapes_untrusted_fields(self):
+        manifest = _manifest(code_version="<script>alert(1)</script>")
+        html = render_report(manifest)
+        _assert_self_contained(html)
+        assert "&lt;script&gt;" in html
+
+
+class TestReproExpReport:
+    def test_report_subcommand_writes_html(self, tmp_path, capsys):
+        manifest_path = tmp_path / "run.manifest.json"
+        _manifest().write(manifest_path)
+        out_path = tmp_path / "report.html"
+        assert diffrun_main(["report", str(manifest_path),
+                             str(out_path)]) == 0
+        html = out_path.read_text()
+        _assert_self_contained(html)
+        assert "Top-down slot accounting" in html
+        assert str(out_path) in capsys.readouterr().out
+
+    def test_report_subcommand_with_baseline(self, tmp_path):
+        base_path = tmp_path / "base.manifest.json"
+        new_path = tmp_path / "new.manifest.json"
+        _manifest().write(base_path)
+        new = _manifest()
+        new.aggregates[0] = dict(new.aggregates[0], ipc=1.0)
+        new.write(new_path)
+        out_path = tmp_path / "ab.html"
+        assert diffrun_main(["report", str(new_path), str(out_path),
+                             "--baseline", str(base_path)]) == 0
+        assert "A/B vs baseline" in out_path.read_text()
+
+    def test_bad_manifest_is_a_usage_error(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("not json")
+        assert diffrun_main(["report", str(bogus),
+                             str(tmp_path / "out.html")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestCliIntegration:
+    def test_topdown_flag_prints_trees(self, tmp_path, capsys):
+        assert run_cli(tmp_path, "--topdown") == 0
+        out = capsys.readouterr().out
+        assert "Top-down slot accounting" in out
+        assert "Energy by instruction class" in out
+        assert "dram_bound" in out and "ixu" in out
+
+    def test_report_flag_writes_full_artifact(self, tmp_path, capsys):
+        report_path = tmp_path / "report.html"
+        metrics_path = tmp_path / "metrics.json"
+        manifest_path = tmp_path / "run.manifest.json"
+        assert run_cli(tmp_path,
+                       "--report", str(report_path),
+                       "--metrics-json", str(metrics_path),
+                       "--manifest", str(manifest_path)) == 0
+        html = report_path.read_text()
+        _assert_self_contained(html)
+        for section in ("Top-down slot accounting", "Timelines",
+                        "Energy by instruction class"):
+            assert section in html, section
+        # --metrics-json carries the per-run topdown payload with both
+        # invariants intact (what the CI smoke job asserts).
+        for run in json.loads(metrics_path.read_text()):
+            topdown = run["topdown"]
+            assert topdown is not None
+            assert sum(topdown["slots"].values()) == (
+                topdown["width"] * topdown["cycles"])
+            energy_sum = sum(topdown["energy_by_class"].values())
+            assert abs(energy_sum - topdown["energy_total"]) <= (
+                1e-6 * max(1.0, topdown["energy_total"]))
+        # The manifest aggregates embed the same payload, so the
+        # offline `repro-exp report` path has everything it needs.
+        manifest = RunManifest.read(manifest_path)
+        assert all(entry["topdown"] is not None
+                   and "ff_skipped_cycles" in entry
+                   for entry in manifest.aggregates)
+        assert manifest.outputs["report"] == str(report_path)
+
+    def test_report_baseline_requires_report(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(tmp_path, "--report-baseline", "whatever.json")
+
+    def test_report_baseline_ab_section(self, tmp_path, capsys):
+        base_path = tmp_path / "base.manifest.json"
+        assert run_cli(tmp_path, "--manifest", str(base_path)) == 0
+        capsys.readouterr()
+        runner.clear_cache()
+        report_path = tmp_path / "ab.html"
+        assert run_cli(tmp_path, "--report", str(report_path),
+                       "--report-baseline", str(base_path)) == 0
+        assert "A/B vs baseline" in report_path.read_text()

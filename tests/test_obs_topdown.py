@@ -1,0 +1,243 @@
+"""Top-down slot accounting and energy-by-class attribution tests.
+
+The two exactness invariants this PR pins (mirroring the stall
+collector's stall-sum guarantee):
+
+* the slot tree sums to exactly ``width x cycles`` — on the golden
+  configs, on fuzz-jittered configs of all four core families, with
+  the fast-forward kernel on and off (the bulk charge must equal the
+  serial per-cycle sum), and
+
+* the per-class energy attribution sums to the full-run
+  ``EnergyBreakdown`` total (to float round-off), full-run and per
+  timeline interval.
+
+Plus: disabled runs stay bit-identical (a core run without a topdown
+collector is unchanged by this PR), and the ``cycles.fastforwarded``
+metrics counter reports kernel engagement.
+"""
+
+import math
+
+import pytest
+
+from repro.core import build_core, model_config
+from repro.energy import EnergyModel
+from repro.obs import (
+    ENERGY_CLASSES,
+    Observability,
+    SLOT_LEAVES,
+    TimelineCollector,
+    TopDownCollector,
+    attribute_energy_by_class,
+    format_energy_by_class,
+    format_topdown_report,
+    merge_topdown_payloads,
+    rollup_slots,
+)
+from repro.obs.topdown import ClassMix
+from repro.validate.fuzz import sample_case
+from repro.workloads import generate_trace
+
+MODELS = ("BIG", "HALF+FX", "LITTLE", "CA")
+
+
+def _observe(config_or_model, trace):
+    topdown = TopDownCollector()
+    obs = Observability(metrics=False, stalls=False, topdown=topdown)
+    core = build_core(config_or_model, obs=obs)
+    stats = core.run(list(trace))
+    return topdown, stats
+
+
+class TestSlotSumInvariant:
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("bench", ("hmmer", "mcf"))
+    def test_tree_sums_to_width_times_cycles(self, model, bench):
+        trace = generate_trace(bench, 2000, seed=3)
+        topdown, stats = _observe(model, trace)
+        assert set(topdown.slots) == set(SLOT_LEAVES)
+        assert sum(topdown.slots.values()) == (
+            topdown.width * stats.cycles)
+        assert topdown.cycles == stats.cycles
+        expected_width = (model_config(model).issue_width
+                          if model == "LITTLE"
+                          else model_config(model).commit_width)
+        assert topdown.width == expected_width
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_retiring_equals_committed(self, model):
+        topdown, stats = _observe(
+            model, generate_trace("hmmer", 2000, seed=3))
+        retired = (topdown.slots["retiring.ixu"]
+                   + topdown.slots["retiring.oxu"])
+        assert retired == stats.committed
+        # The IXU/OXU split mirrors the commit-side coverage counter
+        # (zero IXU slots on cores without an IXU).
+        assert topdown.slots["retiring.ixu"] == stats.ixu_executed
+
+    def test_bad_speculation_bounded_by_squashes(self):
+        # mcf on BIG squashes (memory-order violations) and
+        # mispredicts; both bad-speculation leaves must stay sane.
+        topdown, stats = _observe(
+            "BIG", generate_trace("mcf", 3000, seed=3))
+        assert topdown.slots["bad_speculation.squash"] <= (
+            stats.squashed * topdown.width)
+        if stats.squashed:
+            assert topdown.slots["bad_speculation.squash"] > 0
+
+    def test_rollup_covers_every_level(self):
+        topdown, stats = _observe(
+            "HALF+FX", generate_trace("mcf", 2000, seed=3))
+        tree = rollup_slots(topdown.slots)
+        total = topdown.width * stats.cycles
+        assert (tree["retiring"] + tree["bad_speculation"]
+                + tree["frontend_bound"] + tree["backend_bound"]
+                == total)
+        assert (tree["backend_bound.core"]
+                + tree["backend_bound.memory"]
+                == tree["backend_bound"])
+
+
+class TestFuzzedInvariants:
+    @pytest.mark.parametrize("index", range(4))
+    def test_slot_and_energy_sums_on_jittered_configs(self, index):
+        """Property test over fuzzer-jittered configs of all four
+        families: slot-sum integer-exact, energy-sum float-exact."""
+        case = sample_case(seed=1106, index=index, max_len=600)
+        trace = generate_trace(case.benchmark, case.length,
+                               case.trace_seed)
+        for config in case.configs:
+            topdown, stats = _observe(config, trace)
+            assert sum(topdown.slots.values()) == (
+                topdown.width * stats.cycles), config.name
+            esum = sum(topdown.energy_by_class.values())
+            assert math.isclose(esum, topdown.energy_total,
+                                rel_tol=1e-9, abs_tol=1e-9), config.name
+
+
+class TestFastForwardEquivalence:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_payload_identical_kernel_on_vs_off(self, monkeypatch,
+                                                model):
+        """The bulk on_cycles charge must equal the serial per-cycle
+        sum — mcf engages the kernel on every family."""
+        trace = list(generate_trace("mcf", 2000, seed=3))
+        monkeypatch.delenv("REPRO_NO_FASTFORWARD", raising=False)
+        fast, _ = _observe(model, trace)
+        monkeypatch.setenv("REPRO_NO_FASTFORWARD", "1")
+        serial, _ = _observe(model, trace)
+        fast_payload, serial_payload = fast.to_dict(), serial.to_dict()
+        # Kernel engagement legitimately differs; everything else is
+        # bit-identical.
+        assert fast_payload.pop("ff_skipped_cycles") > 0
+        assert serial_payload.pop("ff_skipped_cycles") == 0
+        assert fast_payload == serial_payload
+
+
+class TestDisabledBitIdentical:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_topdown_observation_changes_nothing(self, model):
+        trace = list(generate_trace("mcf", 1500, seed=3))
+        bare = build_core(model).run(list(trace))
+        _, observed = _observe(model, trace)
+        assert observed.to_dict() == bare.to_dict()
+
+
+class TestFastForwardCounter:
+    def test_counter_reports_engagement(self, monkeypatch):
+        trace = list(generate_trace("mcf", 1500, seed=3))
+        monkeypatch.delenv("REPRO_NO_FASTFORWARD", raising=False)
+        obs = Observability(stalls=False)
+        stats = build_core("BIG", obs=obs).run(list(trace))
+        assert stats.metrics["counters"]["cycles.fastforwarded"] > 0
+        monkeypatch.setenv("REPRO_NO_FASTFORWARD", "1")
+        obs = Observability(stalls=False)
+        stats = build_core("BIG", obs=obs).run(list(trace))
+        assert stats.metrics["counters"]["cycles.fastforwarded"] == 0
+
+
+class TestEnergyByClass:
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("bench", ("hmmer", "mcf"))
+    def test_class_sum_equals_breakdown_total(self, model, bench):
+        topdown, stats = _observe(
+            model, generate_trace(bench, 2000, seed=3))
+        breakdown = EnergyModel(model_config(model)).evaluate(stats)
+        assert math.isclose(sum(topdown.energy_by_class.values()),
+                            breakdown.total, rel_tol=1e-9)
+        assert set(topdown.energy_by_class) == set(ENERGY_CLASSES)
+
+    def test_ixu_classes_only_on_fxa(self):
+        for model, expect_ixu in (("BIG", False), ("HALF+FX", True)):
+            topdown, _ = _observe(
+                model, generate_trace("hmmer", 2000, seed=3))
+            ixu_energy = sum(
+                energy for key, energy
+                in topdown.energy_by_class.items()
+                if key.startswith("ixu."))
+            assert (ixu_energy > 0) == expect_ixu, model
+
+    def test_degenerate_mix_lands_in_unattributed(self):
+        # All-zero class mix: every component's weight profile is
+        # empty, so the total survives in "unattributed".
+        from repro.energy.model import EnergyBreakdown
+        from repro.energy.area import Component
+
+        breakdown = EnergyBreakdown(
+            model="TEST", benchmark="none", cycles=1, committed=0,
+            dynamic={Component.IQ: 3.0}, static={Component.FPU: 2.0})
+        out = attribute_energy_by_class(breakdown, ClassMix())
+        # FPU is pinned to oxu.fp by design (leakage of the unit);
+        # the weightless IQ energy falls through to unattributed.
+        assert math.isclose(out["unattributed"], 3.0)
+        assert math.isclose(out["oxu.fp"], 2.0)
+        assert math.isclose(sum(out.values()), breakdown.total)
+
+
+class TestTimelineIntervals:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_interval_energy_by_class_sums(self, model):
+        timeline = TimelineCollector(interval=300)
+        obs = Observability(metrics=False, stalls=False,
+                            timeline=timeline)
+        build_core(model, obs=obs).run(
+            list(generate_trace("mcf", 2000, seed=3)))
+        assert timeline.samples
+        for sample in timeline.samples:
+            assert math.isclose(
+                sum(sample.energy_by_class.values()),
+                sample.energy_total, rel_tol=1e-9, abs_tol=1e-9)
+            assert sample.to_dict()["energy_by_class"] == (
+                sample.energy_by_class)
+
+
+class TestFormattersAndMerge:
+    def test_merge_and_format_smoke(self):
+        payloads = {}
+        for model in ("BIG", "HALF+FX"):
+            per_bench = []
+            for bench in ("hmmer", "mcf"):
+                topdown, _ = _observe(
+                    model, generate_trace(bench, 1200, seed=3))
+                per_bench.append(topdown.to_dict())
+            merged = merge_topdown_payloads(per_bench)
+            assert merged["total_slots"] == sum(
+                p["total_slots"] for p in per_bench)
+            assert sum(merged["slots"].values()) == (
+                merged["total_slots"])
+            assert math.isclose(
+                sum(merged["energy_by_class"].values()),
+                merged["energy_total"], rel_tol=1e-9)
+            payloads[model] = merged
+        tree_text = format_topdown_report(payloads)
+        assert "retiring" in tree_text and "dram_bound" in tree_text
+        assert "BIG" in tree_text and "HALF+FX" in tree_text
+        energy_text = format_energy_by_class(payloads)
+        assert "ixu.load" in energy_text and "oxu.fp" in energy_text
+
+    def test_collector_attaches_once(self):
+        topdown, _ = _observe(
+            "LITTLE", generate_trace("hmmer", 600, seed=3))
+        with pytest.raises(RuntimeError):
+            topdown.attach(build_core("LITTLE"))
