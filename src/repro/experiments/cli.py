@@ -656,6 +656,10 @@ def main(argv: Optional[List[str]] = None) -> int:
              "to PATH (CI uploads it on failure).",
     )
     args = parser.parse_args(argv)
+    if args.measure < 1:
+        parser.error("--measure must be >= 1")
+    if args.warmup < 0:
+        parser.error("--warmup must be >= 0")
     if args.validate or args.fuzz is not None:
         return _run_validation(parser, args)
     if args.experiment is None:

@@ -1,0 +1,115 @@
+"""Exact Pareto-frontier utilities for the design-space autotuner.
+
+All helpers operate on *maximisation-normalised* objective vectors: the
+caller negates any objective it wants minimised (the autotuner plots
+IPC against energy/instruction and an area proxy, so it passes
+``(ipc, -energy_per_instruction, -area)``).  Everything here is exact
+set arithmetic — no epsilon tolerances, no sampling — which is what
+lets the invariant gauntlet assert frontier membership bit-for-bit.
+
+Tie semantics: a point dominates another only if it is at least as good
+on *every* objective and strictly better on at least one.  Two points
+with identical vectors therefore dominate neither each other nor
+themselves, so exact duplicates of a frontier point are all frontier
+members.  Every function preserves input order (returned indices are
+strictly ascending), so results are stable under re-runs and safe to
+diff byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Vector = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if ``a`` Pareto-dominates ``b`` (maximising every entry).
+
+    Requires ``a`` to be >= ``b`` everywhere and > somewhere; identical
+    vectors dominate neither way.  Vectors must have equal length.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}"
+        )
+    better = False
+    for x, y in zip(a, b):
+        if x < y:
+            return False
+        if x > y:
+            better = True
+    return better
+
+
+def pareto_front_indices(vectors: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Exact and duplicate-friendly: a point appears on the front unless
+    some other point strictly dominates it, so ties and exact
+    duplicates of a frontier point are all kept.  O(n^2) comparisons —
+    fine for the few thousand configs a sweep screens.
+    """
+    front: List[int] = []
+    for i, candidate in enumerate(vectors):
+        if not any(
+            dominates(other, candidate)
+            for j, other in enumerate(vectors) if j != i
+        ):
+            front.append(i)
+    return front
+
+
+def pareto_ranks(vectors: Sequence[Sequence[float]]) -> List[int]:
+    """Non-dominated sorting: rank 0 is the Pareto front, rank 1 the
+    front of what remains, and so on (NSGA-II style fast sort).
+
+    The successive-halving promoter orders configs by
+    ``(rank, tiebreak)``; ranks are deterministic functions of the
+    vectors alone.
+    """
+    n = len(vectors)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(vectors[i], vectors[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(vectors[j], vectors[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    ranks = [0] * n
+    current = [i for i in range(n) if domination_count[i] == 0]
+    rank = 0
+    while current:
+        next_front: List[int] = []
+        for i in current:
+            ranks[i] = rank
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current = sorted(next_front)
+        rank += 1
+    return ranks
+
+
+def dominated_by_some(
+    vector: Sequence[float], pool: Sequence[Sequence[float]]
+) -> bool:
+    """True if any vector in ``pool`` strictly dominates ``vector``.
+
+    The invariant checkers use this to prove every pruned config is
+    dominated by a survivor of the rung that pruned it.
+    """
+    return any(dominates(other, vector) for other in pool)
+
+
+__all__ = [
+    "Vector",
+    "dominates",
+    "dominated_by_some",
+    "pareto_front_indices",
+    "pareto_ranks",
+]

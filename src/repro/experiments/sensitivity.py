@@ -59,6 +59,10 @@ def run(
     """
     benchmarks = list(benchmarks or ALL_BENCHMARKS)
     sweep = tuple(sweep)
+    if not sweep:
+        raise ValueError(
+            "sensitivity sweep needs at least one (iq_entries, "
+            "issue_width) point")
     configs = [model_config("BIG")]
     for entries, width in sweep:
         configs.append(_config(entries, width, False))

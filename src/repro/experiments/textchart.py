@@ -170,3 +170,68 @@ def series_chart(
         )
         lines.append(f"{label:<6s}{cells}")
     return "\n".join(lines)
+
+
+_SCATTER_GLYPHS = "·ox+*"
+
+
+def scatter_chart(
+    series: Mapping[str, Sequence[Sequence[float]]],
+    title: str = "",
+    width: int = 56,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    fmt: str = "{:.3g}",
+) -> str:
+    """Render ``{series: [(x, y), ...]}`` as a unicode scatter plot.
+
+    Series are drawn in iteration order and later series overdraw
+    earlier ones in shared cells, so callers put the emphasised cloud
+    (e.g. a Pareto frontier) last.  Degenerate extents (all points on
+    one x or one y) collapse that axis to the plot centre.
+    """
+    points = [(x, y) for cloud in series.values() for x, y in cloud]
+    lines = [title] if title else []
+    if not points:
+        lines.append("(no points)")
+        return "\n".join(lines)
+    x_low = min(x for x, _ in points)
+    x_high = max(x for x, _ in points)
+    y_low = min(y for _, y in points)
+    y_high = max(y for _, y in points)
+    x_span = x_high - x_low
+    y_span = y_high - y_low
+
+    def _cell(value: float, low: float, span: float, cells: int) -> int:
+        if span <= 0:
+            return cells // 2
+        return min(cells - 1, int((value - low) / span * cells))
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, cloud in enumerate(series.values()):
+        glyph = _SCATTER_GLYPHS[min(index, len(_SCATTER_GLYPHS) - 1)]
+        for x, y in cloud:
+            col = _cell(x, x_low, x_span, width)
+            row = height - 1 - _cell(y, y_low, y_span, height)
+            grid[row][col] = glyph
+    margin = max(len(fmt.format(y_low)), len(fmt.format(y_high)), 6)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = fmt.format(y_high)
+        elif row_index == height - 1:
+            label = fmt.format(y_low)
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}s} │{''.join(row)}")
+    lines.append(" " * margin + " └" + "─" * width)
+    left = fmt.format(x_low)
+    right = fmt.format(x_high)
+    gap = max(1, width - len(left) - len(right))
+    lines.append(" " * (margin + 2) + left + " " * gap + right)
+    legend = "  ".join(
+        f"{_SCATTER_GLYPHS[min(i, len(_SCATTER_GLYPHS) - 1)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{y_label} ↑ vs {x_label} →   {legend}")
+    return "\n".join(lines)

@@ -349,11 +349,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="report title (default derives from the "
                              "manifest path)")
 
+    # Lazy import: repro.experiments.cli imports this module at import
+    # time, so pulling in the experiments package here would cycle.
+    from repro.experiments import dse as dse_module
+
+    dse = sub.add_parser(
+        "dse", help="design-space autotuner: successive-halving sweep "
+                    "over a config space, exact (IPC, energy, area) "
+                    "Pareto frontier")
+    dse_module.configure_parser(dse)
+
     args = parser.parse_args(argv)
     if args.command == "diff":
         return _cmd_diff(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "dse":
+        return dse_module.cmd(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -1,0 +1,328 @@
+"""Engine tests for the design-space autotuner (repro.experiments.dse)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.core import CoreConfig
+from repro.experiments import dse, runner
+from repro.experiments.dse import (
+    Axis,
+    DesignPoint,
+    ParamSpace,
+    SeedPoint,
+    SpaceError,
+    build_config,
+    explore,
+    load_space,
+    promotion_allowance,
+    rung_measure,
+    verify_payload,
+)
+
+TINY = dict(budget=600, rungs=2, eta=3, min_measure=150,
+            warmup_factor=2.0, benchmarks=["hmmer"], seed=3)
+
+
+@pytest.fixture(autouse=True)
+def _clean_runner_state():
+    runner.clear_cache()
+    runner.pop_job_records()
+    runner.pop_served_runs()
+    yield
+    runner.clear_cache()
+    runner.pop_job_records()
+    runner.pop_served_runs()
+
+
+# ---------------------------------------------------------------------
+# Spaces and sampling
+# ---------------------------------------------------------------------
+
+
+class TestParamSpace:
+    def test_grid_size_is_axis_product(self):
+        space = dse.PRESET_SPACES["smoke"]()
+        assert space.grid_size() == 2 * 2 * 2
+        assert space.size() == 8 + len(space.seeds)
+
+    def test_sampling_is_deterministic(self):
+        space = dse.PRESET_SPACES["paper"]()
+        a = space.sample(40, seed=11)
+        b = space.sample(40, seed=11)
+        assert [(p.name, p.overrides) for p in a] == [
+            (p.name, p.overrides) for p in b]
+        c = space.sample(40, seed=12)
+        assert [p.name for p in a] != [p.name for p in c]
+
+    def test_seeded_points_always_included(self):
+        space = dse.PRESET_SPACES["paper"]()
+        points = space.sample(len(space.seeds), seed=0)
+        names = [p.name for p in points]
+        assert names == [s.name for s in space.seeds]
+
+    def test_grid_names_stable_across_sample_sizes(self):
+        space = dse.PRESET_SPACES["paper"]()
+        small = {p.name for p in space.sample(30, seed=5)}
+        large = {p.name for p in space.sample(60, seed=5)}
+        # Same seed, larger budget: pure widening would not hold for
+        # random.sample, but grid names must keep their identity so
+        # the cache key of a given grid point never moves.
+        for name in small & large:
+            point_small = next(p for p in space.sample(30, seed=5)
+                               if p.name == name)
+            point_large = next(p for p in space.sample(60, seed=5)
+                               if p.name == name)
+            assert point_small.overrides == point_large.overrides
+
+    def test_oversampling_yields_whole_grid_once(self):
+        space = dse.PRESET_SPACES["smoke"]()
+        points = space.sample(10_000, seed=0)
+        assert len(points) <= space.size()
+        assert len({p.name for p in points}) == len(points)
+
+    def test_duplicate_overrides_are_deduped(self):
+        space = ParamSpace(
+            name="d", axes=[Axis("iq_entries", (16,))],
+            seeds=[SeedPoint("same", {"iq_entries": 16})])
+        points = space.sample(10, seed=0)
+        assert len(points) == 1 and points[0].name == "same"
+
+    def test_single_point_space(self):
+        space = ParamSpace(name="one",
+                           axes=[Axis("iq_entries", (32,))])
+        points = space.sample(1, seed=0)
+        assert len(points) == 1
+        assert points[0].overrides == {"iq_entries": 32}
+
+    def test_roundtrip_through_json(self):
+        space = dse.PRESET_SPACES["smoke"]()
+        clone = ParamSpace.from_dict(
+            json.loads(json.dumps(space.to_dict())))
+        assert [p.overrides for p in clone.sample(8, seed=1)] == [
+            p.overrides for p in space.sample(8, seed=1)]
+
+    def test_unknown_field_rejected_with_known_list(self):
+        with pytest.raises(SpaceError, match="known"):
+            Axis("iq_size", (8, 16))
+        with pytest.raises(SpaceError, match="IXU field"):
+            Axis("ixu", ({"stages": [3, 1]},))
+        with pytest.raises(SpaceError, match="hierarchy field"):
+            Axis("hierarchy.l9_kb", (64,))
+        with pytest.raises(SpaceError, match="cluster field"):
+            SeedPoint("bad", {"clusters": {"shape": 2}})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SpaceError, match="no values"):
+            Axis("iq_entries", ())
+
+    def test_load_space_rejects_unknown_preset(self):
+        with pytest.raises(SpaceError, match="neither a preset"):
+            load_space("nosuchpreset")
+
+    def test_load_space_from_file(self, tmp_path):
+        path = tmp_path / "space.json"
+        path.write_text(json.dumps({
+            "name": "file", "axes": [
+                {"name": "iq_entries", "values": [8, 64]}]}))
+        space = load_space(str(path))
+        assert space.name == "file" and space.grid_size() == 2
+
+    def test_load_space_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(SpaceError, match="cannot read"):
+            load_space(str(path))
+
+
+class TestBuildConfig:
+    def test_scalar_nested_and_hierarchy_overrides(self):
+        space = ParamSpace(name="t")
+        point = DesignPoint(0, "x", {
+            "iq_entries": 16,
+            "ixu": {"stage_fus": [2, 1], "bypass_stage_limit": 1},
+            "hierarchy.l2_kb": 256,
+        })
+        config = build_config(space, point)
+        assert isinstance(config, CoreConfig)
+        assert config.name == "dse/x"
+        assert config.iq_entries == 16
+        assert config.ixu.stage_fus == (2, 1)
+        assert config.hierarchy.l2_kb == 256
+
+    def test_clusters_and_none_values(self):
+        space = ParamSpace(name="t")
+        config = build_config(space, DesignPoint(0, "c", {
+            "clusters": {"count": 2, "issue_width_per_cluster": 2},
+            "ixu": None}))
+        assert config.clusters.count == 2 and config.ixu is None
+
+    def test_invalid_combination_reports_point_name(self):
+        space = ParamSpace(name="t")
+        with pytest.raises(SpaceError, match="bad-point"):
+            build_config(space, DesignPoint(0, "bad-point", {
+                "core_type": "inorder",
+                "ixu": {"stage_fus": [3, 1, 1]}}))
+
+
+# ---------------------------------------------------------------------
+# Halving arithmetic
+# ---------------------------------------------------------------------
+
+
+class TestHalvingArithmetic:
+    def test_rung_measures_grow_geometrically(self):
+        measures = [rung_measure(9000, 3, 3, r, 100) for r in range(3)]
+        assert measures == [1000, 3000, 9000]
+
+    def test_min_measure_floor(self):
+        assert rung_measure(1000, 4, 3, 0, 250) == 250
+        assert rung_measure(1000, 4, 3, 2, 250) == 1000
+
+    def test_single_rung_runs_full_budget(self):
+        assert rung_measure(5000, 3, 1, 0, 100) == 5000
+
+    def test_promotion_allowance(self):
+        assert promotion_allowance(9, 3) == 3
+        assert promotion_allowance(10, 3) == 4
+        assert promotion_allowance(1, 3) == 1
+        assert promotion_allowance(0, 3) == 1
+
+
+# ---------------------------------------------------------------------
+# The explore loop and its gauntlet
+# ---------------------------------------------------------------------
+
+
+def _smoke_payload(**overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    space = dse.PRESET_SPACES["smoke"]()
+    return explore(space, samples=10, **params).payload
+
+
+class TestExplore:
+    def test_payload_passes_the_gauntlet(self):
+        payload = _smoke_payload()
+        assert verify_payload(payload) == []
+        assert payload["frontier"], "non-empty sweep has a frontier"
+        assert len(payload["rungs_detail"]) == 2
+
+    def test_frontier_members_undominated_within_final_rung(self):
+        payload = _smoke_payload()
+        final = payload["rungs_detail"][-1]["results"]
+        vectors = {e["name"]: dse._vector(e) for e in final}
+        frontier = {e["name"] for e in payload["frontier"]}
+        from repro.experiments.pareto import dominates
+
+        for name in frontier:
+            for other in final:
+                assert not dominates(vectors[other["name"]],
+                                     vectors[name])
+
+    def test_pruned_plus_frontier_covers_all_measured(self):
+        payload = _smoke_payload()
+        measured = {e["name"] for r in payload["rungs_detail"]
+                    for e in r["results"]}
+        assert measured == (set(payload["pruned"])
+                            | {e["name"] for e in payload["frontier"]})
+
+    def test_single_point_space_is_its_own_frontier(self):
+        space = ParamSpace(name="one",
+                           axes=[Axis("iq_entries", (32,))])
+        payload = explore(space, samples=1, **TINY).payload
+        assert verify_payload(payload) == []
+        assert [e["name"] for e in payload["frontier"]] == ["g0000"]
+
+    def test_one_rung_no_screening(self):
+        params = dict(TINY)
+        params["rungs"] = 1
+        space = dse.PRESET_SPACES["smoke"]()
+        payload = explore(space, samples=6, **params).payload
+        assert verify_payload(payload) == []
+        assert len(payload["rungs_detail"]) == 1
+        assert (payload["rungs_detail"][0]["measure"]
+                == params["budget"])
+
+    def test_requires_benchmarks(self):
+        space = dse.PRESET_SPACES["smoke"]()
+        with pytest.raises(SpaceError, match="benchmark"):
+            explore(space, samples=4, **dict(TINY, benchmarks=[]))
+
+    def test_payload_carries_no_wall_clock_data(self):
+        payload = _smoke_payload()
+        text = json.dumps(payload)
+        for banned in ("wall_seconds", "started", "finished",
+                       "timestamp"):
+            assert banned not in text
+
+
+class TestVerifyPayloadDetectsTampering:
+    def _payload(self):
+        return copy.deepcopy(_smoke_payload())
+
+    def test_clean_payload_passes(self):
+        assert verify_payload(self._payload()) == []
+
+    def test_detects_dropped_frontier_member(self):
+        payload = self._payload()
+        victim = payload["frontier"].pop()
+        payload["pruned"] = sorted(
+            set(payload["pruned"]) | {victim["name"]})
+        problems = verify_payload(payload)
+        assert problems and any("frontier" in p for p in problems)
+
+    def test_detects_overpromotion_and_front_pruning(self):
+        payload = self._payload()
+        rung0 = payload["rungs_detail"][0]["results"]
+        flipped = False
+        for entry in rung0:
+            if entry["promoted"] and entry["rank"] == 0:
+                entry["promoted"] = False
+                flipped = True
+                break
+        assert flipped
+        problems = verify_payload(payload)
+        assert any("pruned" in p or "front" in p.lower()
+                   for p in problems)
+
+    def test_detects_metric_tampering(self):
+        payload = self._payload()
+        payload["frontier"][0]["ipc"] *= 1.5
+        assert verify_payload(payload)
+
+    def test_detects_rank_tampering(self):
+        payload = self._payload()
+        payload["rungs_detail"][-1]["results"][0]["rank"] += 1
+        problems = verify_payload(payload)
+        assert any("rank" in p for p in problems)
+
+    def test_detects_broken_rung_chain(self):
+        payload = self._payload()
+        payload["rungs_detail"][-1]["results"] = (
+            payload["rungs_detail"][-1]["results"][:1])
+        assert verify_payload(payload)
+
+    def test_empty_payload_is_a_violation(self):
+        assert verify_payload({"rungs_detail": []})
+
+
+# ---------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------
+
+
+class TestRendering:
+    def test_frontier_table_lists_every_member(self):
+        payload = _smoke_payload()
+        table = dse.format_frontier_table(payload)
+        for entry in payload["frontier"]:
+            assert entry["name"] in table
+        assert "Pareto frontier" in table
+
+    def test_charts_render_both_objective_pairs(self):
+        payload = _smoke_payload()
+        charts = dse.format_charts(payload)
+        assert "pJ/inst" in charts and "mm2" in charts
+        assert "frontier" in charts

@@ -1,0 +1,60 @@
+"""Slow autotuner acceptance sweep (excluded from tier-1; `-m slow`).
+
+The acceptance criterion from the DSE issue: a seeded preset-space run
+of >= 200 configs completes under the halving budget on the smoke
+workload, its payload survives the full invariant gauntlet, and a
+warm-cache re-run is byte-identical.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import dse, runner
+from repro.obs.diffrun import main as repro_exp_main
+
+pytestmark = pytest.mark.slow
+
+SWEEP = ["--space", "paper", "--samples", "216", "--budget", "1000",
+         "--rungs", "2", "--eta", "4", "--min-measure", "250",
+         "--warmup-factor", "2", "--benchmarks", "hmmer",
+         "--seed", "7", "--jobs", "4"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_runner_state():
+    runner.clear_cache()
+    runner.pop_job_records()
+    runner.pop_served_runs()
+    yield
+    runner.clear_cache()
+    runner.pop_job_records()
+    runner.pop_served_runs()
+
+
+def test_200_config_preset_sweep_under_halving_budget(tmp_path):
+    cache = tmp_path / "cache"
+    cold = tmp_path / "cold.json"
+    warm = tmp_path / "warm.json"
+    manifest = tmp_path / "warm.manifest.json"
+
+    assert repro_exp_main(["dse"] + SWEEP + [
+        "--cache-dir", str(cache), "--out", str(cold)]) == 0
+    payload = json.loads(cold.read_text())
+    assert payload["samples"] >= 200
+    assert dse.verify_payload(payload) == []
+    # Halving did its job: only a small promoted set ran at the full
+    # budget, everything else stopped at the screening rung.
+    final = payload["rungs_detail"][-1]
+    assert final["measure"] == 1000
+    assert final["configs"] <= payload["samples"] // 3
+    assert payload["frontier"]
+
+    runner.clear_cache()  # emulate a new process; keep the disk cache
+    assert repro_exp_main(["dse"] + SWEEP + [
+        "--cache-dir", str(cache), "--out", str(warm),
+        "--manifest", str(manifest)]) == 0
+    assert cold.read_bytes() == warm.read_bytes()
+    recorded = json.loads(manifest.read_text())
+    assert recorded["jobs_simulated"] == 0
+    assert recorded["cache"]["hits"] > 0

@@ -1,0 +1,193 @@
+"""Property-test gauntlet for the exact Pareto extractor (hypothesis).
+
+The design-space autotuner's invariants reduce to set arithmetic on
+these helpers, so they get adversarial coverage: random point clouds,
+degenerate ties, exact duplicates, permutations.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.pareto import (
+    dominated_by_some,
+    dominates,
+    pareto_front_indices,
+    pareto_ranks,
+)
+
+# Small-magnitude grid values make ties and duplicates likely, which is
+# exactly where naive extractors go wrong.
+coord = st.integers(min_value=-3, max_value=3).map(float)
+vectors = st.lists(
+    st.tuples(coord, coord, coord), min_size=1, max_size=24
+)
+
+
+# ---------------------------------------------------------------------
+# dominates: the partial order itself
+# ---------------------------------------------------------------------
+
+
+@given(v=st.tuples(coord, coord, coord))
+def test_dominates_is_irreflexive(v):
+    assert not dominates(v, v)
+
+
+@given(a=st.tuples(coord, coord, coord), b=st.tuples(coord, coord, coord))
+def test_dominates_is_antisymmetric(a, b):
+    assert not (dominates(a, b) and dominates(b, a))
+
+
+@given(
+    a=st.tuples(coord, coord, coord),
+    b=st.tuples(coord, coord, coord),
+    c=st.tuples(coord, coord, coord),
+)
+def test_dominates_is_transitive(a, b, c):
+    if dominates(a, b) and dominates(b, c):
+        assert dominates(a, c)
+
+
+def test_dominates_requires_equal_lengths():
+    with pytest.raises(ValueError):
+        dominates((1.0, 2.0), (1.0, 2.0, 3.0))
+
+
+def test_dominates_strict_on_some_axis():
+    assert dominates((1.0, 1.0), (1.0, 0.0))
+    assert not dominates((1.0, 0.0), (0.0, 1.0))  # incomparable
+    assert not dominates((1.0, 1.0), (1.0, 1.0))  # exact tie
+
+
+# ---------------------------------------------------------------------
+# pareto_front_indices: the frontier invariants
+# ---------------------------------------------------------------------
+
+
+@given(cloud=vectors)
+@settings(max_examples=200, deadline=None)
+def test_no_frontier_member_is_dominated(cloud):
+    front = pareto_front_indices(cloud)
+    assert front, "a non-empty cloud always has a non-empty frontier"
+    for i in front:
+        assert not dominated_by_some(
+            cloud[i], [v for j, v in enumerate(cloud) if j != i]
+        )
+
+
+@given(cloud=vectors)
+@settings(max_examples=200, deadline=None)
+def test_every_non_member_is_dominated_by_a_member(cloud):
+    front = set(pareto_front_indices(cloud))
+    members = [cloud[i] for i in front]
+    for i, v in enumerate(cloud):
+        if i not in front:
+            assert dominated_by_some(v, members)
+
+
+@given(cloud=vectors)
+@settings(max_examples=100, deadline=None)
+def test_front_indices_are_stable_ascending(cloud):
+    front = pareto_front_indices(cloud)
+    assert front == sorted(front)
+    assert pareto_front_indices(cloud) == front  # deterministic
+
+
+@given(cloud=vectors, seed=st.integers(min_value=0, max_value=999))
+@settings(max_examples=100, deadline=None)
+def test_frontier_set_is_permutation_invariant(cloud, seed):
+    import random
+
+    order = list(range(len(cloud)))
+    random.Random(seed).shuffle(order)
+    shuffled = [cloud[i] for i in order]
+    original = {tuple(cloud[i]) for i in pareto_front_indices(cloud)}
+    permuted = {
+        tuple(shuffled[i]) for i in pareto_front_indices(shuffled)
+    }
+    assert original == permuted
+
+
+@given(cloud=vectors)
+@settings(max_examples=100, deadline=None)
+def test_duplicates_of_a_frontier_point_are_all_kept(cloud):
+    doubled = list(cloud) + list(cloud)
+    front = set(pareto_front_indices(doubled))
+    n = len(cloud)
+    for i in range(n):
+        # A point and its exact duplicate are frontier members together
+        # or not at all — ties dominate neither way.
+        assert (i in front) == (i + n in front)
+
+
+def test_degenerate_all_identical():
+    cloud = [(1.0, 2.0, 3.0)] * 5
+    assert pareto_front_indices(cloud) == [0, 1, 2, 3, 4]
+    assert pareto_ranks(cloud) == [0, 0, 0, 0, 0]
+
+
+def test_single_point_cloud():
+    assert pareto_front_indices([(0.0, 0.0)]) == [0]
+    assert pareto_ranks([(0.0, 0.0)]) == [0]
+    assert pareto_front_indices([]) == []
+    assert pareto_ranks([]) == []
+
+
+def test_known_two_dim_frontier():
+    cloud = [
+        (1.0, 4.0),   # frontier
+        (2.0, 3.0),   # frontier
+        (1.0, 3.0),   # dominated by both
+        (3.0, 1.0),   # frontier
+        (0.5, 0.5),   # dominated
+    ]
+    assert pareto_front_indices(cloud) == [0, 1, 3]
+
+
+# ---------------------------------------------------------------------
+# pareto_ranks: non-dominated sorting
+# ---------------------------------------------------------------------
+
+
+@given(cloud=vectors)
+@settings(max_examples=150, deadline=None)
+def test_rank_zero_is_exactly_the_frontier(cloud):
+    ranks = pareto_ranks(cloud)
+    front = set(pareto_front_indices(cloud))
+    assert {i for i, r in enumerate(ranks) if r == 0} == front
+
+
+@given(cloud=vectors)
+@settings(max_examples=150, deadline=None)
+def test_every_lower_rank_point_dominated_by_previous_rank(cloud):
+    ranks = pareto_ranks(cloud)
+    by_rank = {}
+    for i, rank in enumerate(ranks):
+        by_rank.setdefault(rank, []).append(cloud[i])
+    for rank in sorted(by_rank):
+        if rank == 0:
+            continue
+        assert rank - 1 in by_rank, "ranks must be contiguous"
+        for v in by_rank[rank]:
+            assert dominated_by_some(v, by_rank[rank - 1])
+
+
+@given(cloud=vectors)
+@settings(max_examples=100, deadline=None)
+def test_ranks_peeling_matches_iterated_front_extraction(cloud):
+    """Peeling the frontier off repeatedly reproduces the rank labels."""
+    ranks = pareto_ranks(cloud)
+    remaining = list(enumerate(cloud))
+    level = 0
+    while remaining:
+        front_positions = pareto_front_indices(
+            [v for _, v in remaining]
+        )
+        peeled = {remaining[p][0] for p in front_positions}
+        for original_index in peeled:
+            assert ranks[original_index] == level
+        remaining = [
+            pair for p, pair in enumerate(remaining)
+            if p not in set(front_positions)
+        ]
+        level += 1

@@ -48,3 +48,28 @@ class TestSeriesChart:
         data = {"a": {1: 0.5}, "b": {1: 0.5, 2: 0.6}}
         text = series_chart(data)
         assert "0.600" in text
+
+
+class TestScatterChart:
+    def test_later_series_overdraw_and_legend(self):
+        from repro.experiments.textchart import scatter_chart
+
+        chart = scatter_chart(
+            {"cloud": [(1.0, 1.0), (2.0, 2.0)],
+             "front": [(2.0, 2.0)]},
+            title="T", x_label="ipc", y_label="pJ")
+        assert chart.startswith("T")
+        assert "· cloud" in chart and "o front" in chart
+        # The shared top-right cell belongs to the later series.
+        assert chart.count("o") >= 1
+
+    def test_degenerate_extent_collapses_to_centre(self):
+        from repro.experiments.textchart import scatter_chart
+
+        chart = scatter_chart({"s": [(1.0, 5.0), (1.0, 5.0)]})
+        assert "·" in chart  # renders without dividing by zero
+
+    def test_empty_series(self):
+        from repro.experiments.textchart import scatter_chart
+
+        assert "(no points)" in scatter_chart({"s": []})

@@ -177,3 +177,49 @@ class TestTraceGeneration:
             elif inst.is_load and inst.mem_addr in store_addrs:
                 forwarded += 1
         assert forwarded > 0
+
+
+class TestProfileEdgeCases:
+    """Validation paths of BenchmarkProfile/Mix that nothing exercised."""
+
+    def test_profile_rejects_unknown_suite(self):
+        from repro.workloads.profiles import BenchmarkProfile
+
+        with pytest.raises(ValueError, match="suite"):
+            BenchmarkProfile(name="x", suite="vector",
+                             mix=Mix(int_alu=1.0))
+
+    def test_profile_rejects_out_of_range_fp_mem_frac(self):
+        from repro.workloads.profiles import BenchmarkProfile
+
+        for frac in (-0.1, 1.5):
+            with pytest.raises(ValueError, match="fp_mem_frac"):
+                BenchmarkProfile(name="x", suite="fp",
+                                 mix=Mix(int_alu=1.0),
+                                 fp_mem_frac=frac)
+
+    def test_profile_rejects_degenerate_dep_geo_p(self):
+        from repro.workloads.profiles import BenchmarkProfile
+
+        for p in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError, match="dep_geo_p"):
+                BenchmarkProfile(name="x", suite="int",
+                                 mix=Mix(int_alu=1.0), dep_geo_p=p)
+
+    def test_get_profile_error_lists_known_benchmarks(self):
+        with pytest.raises(KeyError, match="mcf"):
+            get_profile("nosuchbench")
+
+    def test_every_listed_benchmark_resolves(self):
+        for name in list_benchmarks("all"):
+            assert get_profile(name).name == name
+
+    def test_mix_rejects_negative_total(self):
+        with pytest.raises(ValueError, match="positive"):
+            Mix(int_alu=-1.0).normalised()
+
+    def test_single_class_mix_normalises_to_one(self):
+        mix = Mix(int_alu=0.25).normalised()
+        assert mix.int_alu == 1.0
+        assert mix.fp_fraction == 0.0
+        assert mix.int_operation_fraction == 1.0
