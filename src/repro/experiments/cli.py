@@ -74,6 +74,7 @@ from repro.obs import (
     Observability,
     RunManifest,
     STALL_CAUSES,
+    aggregate_entry,
     TimelineCollector,
     TopDownCollector,
     format_energy_by_class,
@@ -293,24 +294,11 @@ def _build_aggregates(served, job_records, observed: Dict,
                 "counters", {}).get("cycles.fastforwarded", 0)
         else:
             ff_skipped = 0
-        entries.append({
-            "model": run.model,
-            "benchmark": run.benchmark,
-            "ipc": run.ipc,
-            "cycles": run.stats.cycles,
-            "committed": run.stats.committed,
-            "energy_total": run.total_energy,
-            "energy_per_instruction":
-                run.energy.energy_per_instruction,
-            "stalls": dict(stalls),
-            "wall_seconds": wall_seconds,
-            "insts_per_second": (
-                run.stats.committed / wall_seconds
-                if wall_seconds else 0.0),
-            "ff_skipped_cycles": ff_skipped,
-            "topdown": (topdown.to_dict()
-                        if topdown is not None else None),
-        })
+        entries.append(aggregate_entry(
+            run, wall_seconds=wall_seconds, stalls=stalls,
+            ff_skipped=ff_skipped,
+            topdown=(topdown.to_dict()
+                     if topdown is not None else None)))
     return entries
 
 

@@ -36,6 +36,8 @@ import os
 from pathlib import Path
 from typing import Optional
 
+from repro.atomicio import replace_json
+
 #: Bump to invalidate every existing cache entry on a format change.
 CACHE_FORMAT = 1
 
@@ -161,13 +163,17 @@ class DiskCache:
             pass
 
     def _write_json(self, path: Path, payload: dict) -> bool:
-        """Atomic JSON write; False (never an exception) on failure."""
+        """Atomic JSON write; False (never an exception) on failure.
+
+        The temp name comes from :func:`repro.atomicio.tmp_path_for`
+        (hostname + pid + monotonic counter): on a cache directory
+        shared between hosts, a pid-only suffix lets two workers
+        publishing the same digest clobber each other's temp file
+        mid-write and publish a torn entry.
+        """
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with open(tmp, "w") as stream:
-                json.dump(payload, stream)
-            os.replace(tmp, path)
+            replace_json(path, payload)
         except OSError:
             return False
         return True

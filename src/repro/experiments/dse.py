@@ -344,12 +344,20 @@ class ParamSpace:
                    description=data.get("description", ""))
 
 
-def build_config(space: ParamSpace, point: DesignPoint) -> CoreConfig:
-    """Instantiate the :class:`CoreConfig` a design point describes."""
-    base = model_config(space.base)
+def apply_overrides(base: CoreConfig, overrides: Mapping,
+                    name: str) -> CoreConfig:
+    """Instantiate ``base`` with dse-style ``overrides`` applied.
+
+    The override vocabulary (scalar config fields, ``ixu`` /
+    ``clusters`` objects, dotted ``hierarchy.<field>`` keys) is shared
+    with the job server's config specs; validate first with
+    :func:`_validate_overrides` for up-front unknown-field errors.
+    Raises :class:`SpaceError` when the overridden values do not form a
+    valid configuration.
+    """
     scalars: Dict = {}
     hierarchy: Dict = {}
-    for key, value in point.overrides.items():
+    for key, value in overrides.items():
         if key.startswith("hierarchy."):
             hierarchy[key.split(".", 1)[1]] = value
         elif key == "ixu":
@@ -370,11 +378,20 @@ def build_config(space: ParamSpace, point: DesignPoint) -> CoreConfig:
         if hierarchy:
             config = replace(
                 config, hierarchy=replace(config.hierarchy, **hierarchy))
-        return replace(config, name=f"dse/{point.name}", **scalars)
+        return replace(config, name=name, **scalars)
     except (TypeError, ValueError) as error:
         raise SpaceError(
-            f"design point {point.name!r} is not a valid config: "
-            f"{error}") from None
+            f"overrides do not form a valid config: {error}") from None
+
+
+def build_config(space: ParamSpace, point: DesignPoint) -> CoreConfig:
+    """Instantiate the :class:`CoreConfig` a design point describes."""
+    try:
+        return apply_overrides(model_config(space.base),
+                               point.overrides, f"dse/{point.name}")
+    except SpaceError as error:
+        raise SpaceError(
+            f"design point {point.name!r}: {error}") from None
 
 
 # ----------------------------------------------------------------------

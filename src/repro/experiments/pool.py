@@ -36,6 +36,7 @@ results are kept.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import queue as queue_lib
@@ -54,6 +55,35 @@ _DEATH_GRACE_SECONDS = 0.5
 #: Extra allowance on top of ``timeout`` for a worker that never even
 #: reported its execution start (covers process startup / import cost).
 _START_GRACE_SECONDS = 5.0
+#: Ceiling on the exponential retry backoff.  Uncapped,
+#: ``backoff * 2**(n-1)`` passes an hour by attempt 14 — a generous
+#: retry budget must never strand a job that long between attempts.
+MAX_RETRY_DELAY = 60.0
+
+
+def retry_delay(retry_backoff: float, attempts: int,
+                job: Optional["SimJob"] = None,
+                cap: float = MAX_RETRY_DELAY) -> float:
+    """Delay before re-running a job whose ``attempts``-th try failed.
+
+    Exponential in the attempt count but capped at ``cap``, then scaled
+    into ``[delay/2, delay)`` by a jitter derived deterministically from
+    the job identity and attempt number: when a shared-resource hiccup
+    fails a whole sweep at once, the retries spread out instead of
+    waking in lockstep and hammering the same resource again.  No RNG
+    state and no wall clock participate, so a re-run schedules
+    identically — the delay only shapes timing, never results, which
+    stay bit-identical.
+    """
+    if retry_backoff <= 0:
+        return 0.0
+    delay = min(cap, retry_backoff * (2.0 ** (attempts - 1)))
+    if job is not None:
+        token = f"{job.describe()}#{attempts}".encode()
+        word = int.from_bytes(
+            hashlib.sha256(token).digest()[:8], "big")
+        delay *= 0.5 + 0.5 * (word / 2.0 ** 64)
+    return delay
 
 
 @dataclass(frozen=True)
@@ -338,7 +368,8 @@ def _run_parallel(
     def settle(index: int, failure: JobFailure) -> None:
         """Retry a failed attempt, or quarantine / abort the sweep."""
         if failure.attempts <= retries:
-            delay = retry_backoff * (2.0 ** (failure.attempts - 1))
+            delay = retry_delay(retry_backoff, failure.attempts,
+                                failure.job)
             waiting.append((time.monotonic() + delay, index,
                             failure.attempts + 1))
             return
@@ -497,7 +528,7 @@ def _run_serial(
                         on_result(result)
                     break
             if attempt <= retries:
-                delay = retry_backoff * (2.0 ** (attempt - 1))
+                delay = retry_delay(retry_backoff, attempt, job)
                 if delay > 0:
                     time.sleep(delay)
                 attempt += 1
@@ -537,7 +568,9 @@ def run_jobs(
             ``retries + 1``.  Serial post-hoc timeouts are never
             retried.
         retry_backoff: Base delay in seconds before retry ``n``, scaled
-            exponentially (``retry_backoff * 2**(n-1)``).
+            exponentially (``retry_backoff * 2**(n-1)``), capped at
+            :data:`MAX_RETRY_DELAY` and deterministically jittered per
+            job (see :func:`retry_delay`).
         fail_fast: Abort the sweep on the first quarantined job by
             raising :class:`SweepAborted` (or its subclass
             :class:`JobTimeoutError`), carrying every already-completed

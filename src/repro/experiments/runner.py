@@ -261,6 +261,143 @@ def run_benchmark(
     return run
 
 
+@dataclass
+class SweepOutcome:
+    """One job's answer from :func:`run_sweep`, whatever served it.
+
+    ``source`` records where the answer came from: ``"cache"`` (disk
+    hit, zero simulation), ``"quarantine"`` (a sticky failure record
+    from an earlier sweep; the job was not re-crashed), or
+    ``"simulated"`` (the pool ran it — ``failure`` is set if it
+    exhausted its retry budget this time).
+    """
+
+    job: object                       # pool.SimJob
+    source: str                       # "cache" | "quarantine" | "simulated"
+    run: Optional[BenchmarkRun] = None
+    failure: Optional[object] = None  # pool.JobFailure
+    wall_seconds: float = 0.0
+    attempts: int = 0
+    worker_pid: int = 0
+    started_ts: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.run is not None
+
+
+def run_sweep(
+    jobs,
+    workers: int = 1,
+    cache=None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff: float = 0.25,
+    resume: bool = False,
+    on_outcome=None,
+) -> List[SweepOutcome]:
+    """Serve a job list end to end: cache dedup, quarantine, pool.
+
+    The self-contained, re-entrant flavour of :func:`prefetch` that the
+    ``repro.serve`` job server schedules batches on.  No module globals
+    are read or written, so concurrent sweeps can run on different
+    threads against different caches.  Every job is answered — straight
+    from ``cache`` when its fingerprint is already stored (identical
+    digest ⇒ zero simulation), from a sticky quarantine record (unless
+    ``resume`` clears it), or by fanning the misses over the
+    fault-tolerant pool under the given retry/timeout policy.  Fresh
+    successes and failures are persisted back to ``cache`` as they
+    land, exactly like a CLI sweep.
+
+    ``on_outcome`` fires once per *distinct* job in serving order —
+    cache hits and quarantine replays first, then pool completions in
+    completion order — which is what the server streams to clients.
+    Returns one :class:`SweepOutcome` per input job in submission
+    order; duplicate jobs share a single execution and outcome.
+    """
+    from repro.experiments.pool import JobFailure, SimJob, run_jobs
+
+    jobs = list(jobs)
+    outcomes: List[Optional[SweepOutcome]] = [None] * len(jobs)
+    indices: Dict[Tuple, List[int]] = {}
+    misses: List[SimJob] = []
+    miss_keys: List[Tuple] = []
+
+    def _emit(key: Tuple, outcome: SweepOutcome) -> None:
+        for index in indices[key]:
+            outcomes[index] = outcome
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    for index, job in enumerate(jobs):
+        key = (_config_key(job.config), job.benchmark, job.measure,
+               job.warmup, job.seed)
+        if key in indices:
+            indices[key].append(index)
+            continue
+        indices[key] = [index]
+        if cache is not None:
+            run = cache.load(job.config, job.benchmark, job.measure,
+                             job.warmup, job.seed)
+            if run is not None:
+                _emit(key, SweepOutcome(job=job, source="cache",
+                                        run=run))
+                continue
+            if resume:
+                cache.clear_failure(job.config, job.benchmark,
+                                    job.measure, job.warmup, job.seed)
+            else:
+                record = cache.load_failure(
+                    job.config, job.benchmark, job.measure, job.warmup,
+                    job.seed)
+                if record is not None:
+                    failure = JobFailure.from_dict(job, record)
+                    _emit(key, SweepOutcome(
+                        job=job, source="quarantine", failure=failure,
+                        attempts=failure.attempts,
+                        wall_seconds=failure.wall_seconds,
+                        worker_pid=failure.worker_pid))
+                    continue
+        misses.append(job)
+        miss_keys.append(key)
+    if not misses:
+        return outcomes  # type: ignore[return-value]
+
+    def _landed(result) -> None:
+        # Completion-order incremental persistence + streaming, just
+        # like a CLI sweep: an interrupted batch loses nothing.  The
+        # key is recomputed from the result's own job: in pool mode the
+        # JobResult crossed a process boundary, so its job is an equal
+        # but not identical object.
+        job = result.job
+        if cache is not None:
+            cache.store(job.config, job.benchmark, job.measure,
+                        job.warmup, job.seed, result.run)
+        key = (_config_key(job.config), job.benchmark, job.measure,
+               job.warmup, job.seed)
+        _emit(key, SweepOutcome(
+            job=job, source="simulated", run=result.run,
+            wall_seconds=result.wall_seconds, attempts=result.attempts,
+            worker_pid=result.worker_pid, started_ts=result.started_ts))
+
+    pool_outcomes = run_jobs(misses, workers=workers, timeout=timeout,
+                             retries=retries,
+                             retry_backoff=retry_backoff,
+                             on_result=_landed)
+    for job, key, outcome in zip(misses, miss_keys, pool_outcomes):
+        if isinstance(outcome, JobFailure):
+            if cache is not None:
+                cache.store_failure(job.config, job.benchmark,
+                                    job.measure, job.warmup, job.seed,
+                                    outcome.to_dict())
+            _emit(key, SweepOutcome(
+                job=job, source="simulated", failure=outcome,
+                attempts=outcome.attempts,
+                wall_seconds=outcome.wall_seconds,
+                worker_pid=outcome.worker_pid))
+    return outcomes  # type: ignore[return-value]
+
+
 def prefetch(
     pairs: Iterable[Tuple[CoreConfig, str]],
     measure: int = DEFAULT_MEASURE,

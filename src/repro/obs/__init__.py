@@ -46,6 +46,7 @@ from typing import Optional
 from repro.obs.manifest import (
     JobRecord,
     RunManifest,
+    aggregate_entry,
     host_info,
     manifest_path_for,
 )
@@ -294,5 +295,6 @@ __all__ = [
     "JobRecord",
     "RunManifest",
     "host_info",
+    "aggregate_entry",
     "manifest_path_for",
 ]

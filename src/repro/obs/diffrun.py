@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.atomicio import locked, replace_json
 from repro.obs.manifest import RunManifest
 
 #: Exit code of ``repro-exp diff`` / the CLI ``--baseline`` gate when at
@@ -299,16 +301,36 @@ def append_history_entry(entry: Dict, path: str) -> Dict:
     """Append ``entry`` to the ``{"entries": [...]}`` JSON history at
     ``path`` (created on first use); returns the entry.  Shared by the
     ``--trajectory`` IPC/energy history and the simspeed throughput
-    history (BENCH_simspeed.json) so both files read identically."""
-    try:
-        with open(path) as handle:
-            history = json.load(handle)
-    except (FileNotFoundError, json.JSONDecodeError):
-        history = {"entries": []}
-    history.setdefault("entries", []).append(entry)
-    with open(path, "w") as handle:
-        json.dump(history, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    history (BENCH_simspeed.json) so both files read identically.
+
+    Safe under concurrency: the read-modify-write runs under an
+    exclusive lock on a ``<path>.lock`` sidecar and the new history is
+    published with tmp file + ``os.replace``, so two sweeps appending
+    to one trajectory file lose no entries and concurrent readers
+    never see torn JSON.  A corrupt or truncated history (which may
+    hold months of trajectory) is preserved as ``<path>.corrupt``
+    before a fresh history is started, never silently discarded.
+    """
+    with locked(path):
+        history: object = None
+        corrupt = False
+        try:
+            with open(path) as handle:
+                history = json.load(handle)
+        except FileNotFoundError:
+            pass
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            corrupt = True
+        if not (history is None or isinstance(history, dict)):
+            corrupt = True
+        if corrupt:
+            os.replace(path, f"{path}.corrupt")
+            history = None
+        if history is None:
+            history = {"entries": []}
+        history.setdefault("entries", []).append(entry)
+        replace_json(path, history, indent=2, sort_keys=True,
+                     trailing_newline=True)
     return entry
 
 
@@ -352,12 +374,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Lazy import: repro.experiments.cli imports this module at import
     # time, so pulling in the experiments package here would cycle.
     from repro.experiments import dse as dse_module
+    from repro.serve import server as serve_module
+    from repro.serve import spool as spool_module
 
     dse = sub.add_parser(
         "dse", help="design-space autotuner: successive-halving sweep "
                     "over a config space, exact (IPC, energy, area) "
                     "Pareto frontier")
     dse_module.configure_parser(dse)
+
+    serve = sub.add_parser(
+        "serve", help="simulation-as-a-service: asyncio HTTP/JSON job "
+                      "server over the sweep engine (cache dedup, "
+                      "fault-tolerant pool, streamed progress)")
+    serve_module.configure_parser(serve)
+
+    worker = sub.add_parser(
+        "spool-worker", help="claim and execute queued jobs from a "
+                             "shared spool directory (multi-host "
+                             "execution behind repro-exp serve)")
+    spool_module.configure_parser(worker)
 
     args = parser.parse_args(argv)
     if args.command == "diff":
@@ -366,6 +402,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "dse":
         return dse_module.cmd(args)
+    if args.command == "serve":
+        return serve_module.cmd(args)
+    if args.command == "spool-worker":
+        return spool_module.cmd(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

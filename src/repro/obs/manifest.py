@@ -25,6 +25,8 @@ import sys
 from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional
 
+from repro.atomicio import replace_json
+
 
 def host_info() -> Dict[str, object]:
     """The machine fingerprint recorded in every manifest.
@@ -133,15 +135,50 @@ class RunManifest:
         return cls(**kwargs)
 
     def write(self, path) -> None:
-        """Serialise to ``path`` as indented, key-sorted JSON."""
-        with open(path, "w") as stream:
-            json.dump(self.to_dict(), stream, indent=2, sort_keys=True)
-            stream.write("\n")
+        """Serialise to ``path`` as indented, key-sorted JSON.
+
+        Published atomically (tmp file + ``os.replace``, the disk-cache
+        idiom): progress streamers, ``repro-exp diff`` and the job
+        server poll manifests while sweeps are still producing them,
+        and an in-place write would let them read torn JSON.  A
+        serialisation failure leaves any existing manifest untouched.
+        """
+        replace_json(path, self.to_dict(), indent=2, sort_keys=True,
+                     trailing_newline=True)
 
     @classmethod
     def read(cls, path) -> "RunManifest":
         with open(path) as stream:
             return cls.from_dict(json.load(stream))
+
+
+def aggregate_entry(run, *, wall_seconds: float = 0.0,
+                    stalls: Optional[Dict] = None, ff_skipped: int = 0,
+                    topdown: Optional[Dict] = None) -> Dict:
+    """One ``aggregates`` row for a served benchmark run.
+
+    ``run`` is any object with the :class:`BenchmarkRun` surface
+    (``model``, ``benchmark``, ``ipc``, ``stats``, ``energy``,
+    ``total_energy``).  Shared by the CLI sweep and the job server so
+    every producer of aggregates emits the exact schema the differ and
+    the HTML report consume; ``wall_seconds`` is 0.0 for cache replays
+    (``insts_per_second`` then reads 0.0 and is never gated on).
+    """
+    return {
+        "model": run.model,
+        "benchmark": run.benchmark,
+        "ipc": run.ipc,
+        "cycles": run.stats.cycles,
+        "committed": run.stats.committed,
+        "energy_total": run.total_energy,
+        "energy_per_instruction": run.energy.energy_per_instruction,
+        "stalls": dict(run.stats.stalls if stalls is None else stalls),
+        "wall_seconds": wall_seconds,
+        "insts_per_second": (
+            run.stats.committed / wall_seconds if wall_seconds else 0.0),
+        "ff_skipped_cycles": ff_skipped,
+        "topdown": topdown,
+    }
 
 
 def manifest_path_for(json_path: str) -> str:

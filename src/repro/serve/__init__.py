@@ -1,0 +1,29 @@
+"""Simulation as a service: HTTP job server over the sweep engine.
+
+The package splits along the obvious seams:
+
+* :mod:`repro.serve.protocol` — job/batch specs, validation, digests
+* :mod:`repro.serve.quota` — per-tenant admission and priorities
+* :mod:`repro.serve.spool` — shared-directory multi-host work queue
+* :mod:`repro.serve.server` — the asyncio HTTP server + scheduler
+* :mod:`repro.serve.client` — stdlib client (submit/stream/status)
+
+Heavy modules are imported lazily by the CLI; importing ``repro.serve``
+itself pulls in only the protocol types.
+"""
+
+from repro.serve.protocol import (
+    BatchSpec,
+    JobSpec,
+    ProtocolError,
+    parse_batch,
+    parse_job,
+)
+
+__all__ = [
+    "BatchSpec",
+    "JobSpec",
+    "ProtocolError",
+    "parse_batch",
+    "parse_job",
+]

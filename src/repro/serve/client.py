@@ -1,0 +1,109 @@
+"""Minimal stdlib client for the simulation job server.
+
+``http.client`` only — the same no-third-party-deps rule the server
+follows.  The streaming endpoint uses chunked transfer encoding, which
+``http.client`` decodes transparently, so :meth:`ServeClient.stream`
+is a plain line-by-line JSON reader.
+
+    client = ServeClient("127.0.0.1", 8023)
+    submitted = client.submit({"jobs": [{"benchmark": "hmmer"}]})
+    for event in client.stream(submitted["batch_id"]):
+        print(event["event"], event.get("job", ""))
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterator, List, Optional
+
+
+class ServeError(RuntimeError):
+    """A non-2xx answer from the server; carries status and payload."""
+
+    def __init__(self, status: int, payload: Dict):
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}")
+
+
+class ServeClient:
+    """One server endpoint; every call opens a fresh connection (the
+    server closes connections per request)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8023,
+                 timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            payload = (json.dumps(body).encode()
+                       if body is not None else None)
+            headers = ({"Content-Type": "application/json"}
+                       if payload is not None else {})
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            response = connection.getresponse()
+            data = json.loads(response.read().decode() or "null")
+            if response.status >= 400:
+                raise ServeError(response.status, data or {})
+            return data
+        finally:
+            connection.close()
+
+    def submit(self, batch: Dict) -> Dict:
+        """POST one batch (or bare job spec); returns the admission
+        record (``batch_id``, digests, URLs).  Raises
+        :class:`ServeError` on a 400 (protocol) or 429 (quota)."""
+        return self._request("POST", "/v1/batches", batch)
+
+    def batch(self, batch_id: str) -> Dict:
+        """GET the non-streaming batch snapshot."""
+        return self._request("GET", f"/v1/batches/{batch_id}")
+
+    def status(self) -> Dict:
+        """GET the server's counter/queue/tenant status."""
+        return self._request("GET", "/v1/status")
+
+    def stream(self, batch_id: str) -> Iterator[Dict]:
+        """Yield the batch's JSON-lines events until ``batch_end``.
+
+        Connecting after completion replays the full event history, so
+        submit-then-stream is race-free.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", f"/v1/batches/{batch_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raise ServeError(
+                    response.status,
+                    json.loads(response.read().decode() or "{}"))
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            connection.close()
+
+    def run_batch(self, batch: Dict) -> List[Dict]:
+        """Submit a batch and block until it finishes; returns the full
+        event list (``batch_start``, per-job events, ``batch_end``)."""
+        submitted = self.submit(batch)
+        return list(self.stream(submitted["batch_id"]))
+
+
+__all__ = ["ServeClient", "ServeError"]

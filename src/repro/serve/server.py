@@ -1,0 +1,790 @@
+"""Simulation as a service: an asyncio HTTP/JSON job server.
+
+``repro-exp serve`` turns the sweep engine into a long-lived service:
+clients POST batches of job specs (see :mod:`repro.serve.protocol`)
+and stream back per-job progress as the results land.  Everything
+between the socket and the simulator is the machinery the CLI already
+uses — the content-addressed :class:`DiskCache`, the slot-based
+fault-tolerant pool with its retry/quarantine semantics, and the
+:class:`RunManifest` provenance record — which is the point: a batch
+submitted over HTTP and the same sweep run with ``fxa-experiments
+--jobs`` produce byte-identical cached results and share cache entries
+bidirectionally.
+
+Endpoints (all JSON; the stream is newline-delimited JSON over
+chunked transfer encoding):
+
+    POST /v1/batches             submit a batch (or bare job spec)
+    GET  /v1/batches/<id>        batch snapshot (counts per source)
+    GET  /v1/batches/<id>/events stream job events until batch_end
+    GET  /v1/status              cache/quarantine/queue/tenant counters
+
+Batches are admitted against per-tenant quotas
+(:mod:`repro.serve.quota`) and scheduled highest-priority-first; each
+batch is dedup'd against the disk cache by fingerprint before any
+fan-out, so a digest the cache has already seen is answered with zero
+simulation.  With ``--spool DIR`` the server enqueues cache misses
+into a shared spool directory (:mod:`repro.serve.spool`) instead of
+simulating locally, and any number of ``repro-exp spool-worker``
+processes — on this host or others sharing the filesystem — claim and
+execute them.
+
+The HTTP layer is deliberately stdlib-only (``asyncio.start_server``
+plus hand-rolled HTTP/1.1): the repo takes no third-party runtime
+dependencies, and the protocol surface is four routes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import datetime
+import heapq
+import itertools
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.diskcache import DiskCache, code_version, fingerprint
+from repro.experiments.runner import SweepOutcome, run_sweep
+from repro.obs.manifest import (
+    JobRecord,
+    RunManifest,
+    aggregate_entry,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.protocol import BatchSpec, ProtocolError, parse_batch
+from repro.serve.quota import QuotaExceeded, QuotaRegistry
+from repro.serve.spool import Spool
+
+_MAX_BODY = 16 * 1024 * 1024
+_MAX_LINE = 64 * 1024
+
+
+def _now_iso() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).isoformat()
+
+
+def _digest_of(job) -> str:
+    """Content address of a pool ``SimJob`` (the cache's fingerprint)."""
+    return fingerprint(job.config, job.benchmark, job.measure,
+                       job.warmup, job.seed)
+
+
+class Batch:
+    """One admitted submission: its spec, event log and stream fan-out.
+
+    Events append on the server's event loop only; every subscriber
+    replays the log from the start, so a client that connects after
+    completion still sees the full history.
+    """
+
+    def __init__(self, batch_id: str, spec: BatchSpec,
+                 digests: List[str], priority: int):
+        self.id = batch_id
+        self.spec = spec
+        self.digests = digests
+        self.priority = priority
+        self.events: List[Dict] = []
+        self.done = False
+        self._cond = asyncio.Condition()
+
+    async def push(self, event: Dict) -> None:
+        async with self._cond:
+            self.events.append(event)
+            if event.get("event") in ("batch_end",):
+                self.done = True
+            self._cond.notify_all()
+
+    async def stream(self):
+        index = 0
+        while True:
+            async with self._cond:
+                while index >= len(self.events):
+                    await self._cond.wait()
+                fresh = self.events[index:]
+                index = len(self.events)
+            for event in fresh:
+                yield event
+                if event.get("event") == "batch_end":
+                    return
+
+    def snapshot(self) -> Dict:
+        """Counts per source/status for the non-streaming GET."""
+        by_source: Dict[str, int] = {}
+        ok = failed = 0
+        for event in self.events:
+            if event.get("event") != "job":
+                continue
+            source = event.get("source", "?")
+            by_source[source] = by_source.get(source, 0) + 1
+            if event.get("status") == "ok":
+                ok += 1
+            else:
+                failed += 1
+        return {
+            "batch_id": self.id,
+            "tenant": self.spec.tenant,
+            "priority": self.priority,
+            "jobs": len(self.spec.jobs),
+            "distinct_jobs": len(set(self.digests)),
+            "done": self.done,
+            "events": len(self.events),
+            "completed_ok": ok,
+            "completed_failed": failed,
+            "by_source": by_source,
+        }
+
+
+class SimServer:
+    """The job server: admission, scheduling, execution, streaming.
+
+    Batches execute one at a time (each sweep already fans out over
+    ``workers`` pool processes); the waiting queue is ordered by tenant
+    priority, FIFO within a priority level.
+    """
+
+    def __init__(self, cache: Optional[DiskCache] = None,
+                 workers: int = 1, timeout: Optional[float] = None,
+                 retries: int = 0, retry_backoff: float = 0.25,
+                 quotas: Optional[QuotaRegistry] = None,
+                 spool: Optional[Spool] = None,
+                 manifest_dir=None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 spool_poll: float = 0.2):
+        self.cache = cache if cache is not None else DiskCache()
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.quotas = quotas or QuotaRegistry()
+        self.spool = spool
+        self.manifest_dir = manifest_dir
+        self.host = host
+        self.port = port
+        self.spool_poll = spool_poll
+        self.metrics = MetricsRegistry()
+        self.batches: Dict[str, Batch] = {}
+        self.started_monotonic = time.monotonic()
+        self._queue: List[Tuple[int, int, Batch]] = []
+        self._seq = itertools.count(1)
+        self._ids = itertools.count(1)
+        self._running: Optional[str] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "SimServer":
+        loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._scheduler_task = loop.create_task(self._scheduler())
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        assert self._wake is not None
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._queue:
+                _, _, batch = heapq.heappop(self._queue)
+                self._running = batch.id
+                self.metrics.counter("serve.batches_started").add()
+                try:
+                    if self.spool is not None:
+                        await self._run_batch_spool(batch)
+                    else:
+                        await self._run_batch_local(batch)
+                    self.metrics.counter("serve.batches_finished").add()
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # keep serving other batches
+                    self.metrics.counter("serve.batches_errored").add()
+                    await batch.push({
+                        "event": "batch_end", "batch_id": batch.id,
+                        "error": f"{type(error).__name__}: {error}"})
+                finally:
+                    self._running = None
+                    self.quotas.release(batch.spec.tenant,
+                                        len(batch.spec.jobs))
+
+    def _job_event(self, batch: Batch, outcome: SweepOutcome) -> Dict:
+        """One streamed JSON-lines record per distinct job outcome."""
+        self.metrics.counter(f"serve.jobs_{outcome.source}").add()
+        event = {
+            "event": "job",
+            "batch_id": batch.id,
+            "digest": _digest_of(outcome.job),
+            "job": outcome.job.describe(),
+            "source": outcome.source,
+            "status": "ok" if outcome.ok else "failed",
+            "wall_seconds": outcome.wall_seconds,
+            "attempts": outcome.attempts,
+        }
+        if outcome.ok:
+            event["result"] = aggregate_entry(
+                outcome.run,
+                wall_seconds=(outcome.wall_seconds
+                              if outcome.source == "simulated" else 0.0))
+        else:
+            self.metrics.counter("serve.jobs_quarantined").add()
+            event["failure"] = outcome.failure.to_dict()
+        return event
+
+    def _manifest_for(self, batch: Batch,
+                      outcomes: List[SweepOutcome],
+                      started_at: str, wall: float) -> RunManifest:
+        """Provenance for one batch, in the CLI sweep's exact schema
+        (``repro-exp diff`` and ``report`` consume it unchanged)."""
+        records: List[JobRecord] = []
+        aggregates: List[Dict] = []
+        seen: set = set()
+        simulated = failed = 0
+        for outcome in outcomes:
+            if outcome is None or id(outcome) in seen:
+                continue  # duplicate specs share one outcome object
+            seen.add(id(outcome))
+            if outcome.ok:
+                aggregates.append(aggregate_entry(
+                    outcome.run,
+                    wall_seconds=(outcome.wall_seconds
+                                  if outcome.source == "simulated"
+                                  else 0.0)))
+            else:
+                failed += 1
+            if outcome.source != "simulated":
+                continue
+            simulated += 1
+            if outcome.ok:
+                records.append(JobRecord(
+                    job=outcome.job.describe(),
+                    wall_seconds=outcome.wall_seconds,
+                    worker_pid=outcome.worker_pid,
+                    attempts=outcome.attempts,
+                    started_ts=outcome.started_ts))
+            else:
+                f = outcome.failure
+                records.append(JobRecord(
+                    job=outcome.job.describe(),
+                    wall_seconds=f.wall_seconds,
+                    worker_pid=f.worker_pid, attempts=f.attempts,
+                    status="failed", cause=f.cause, error=f.error))
+        specs = batch.spec.jobs
+        measures = {spec.measure for spec in specs}
+        warmups = {spec.warmup for spec in specs}
+        seeds = {spec.seed for spec in specs}
+        return RunManifest(
+            command=["repro-exp", "serve", f"batch:{batch.id}"],
+            experiments=[f"serve/{batch.spec.tenant}/{batch.id}"],
+            benchmarks=sorted({spec.benchmark for spec in specs}),
+            measure=measures.pop() if len(measures) == 1 else 0,
+            warmup=warmups.pop() if len(warmups) == 1 else 0,
+            seed=seeds.pop() if len(seeds) == 1 else 0,
+            code_version=code_version(),
+            started_at=started_at,
+            finished_at=_now_iso(),
+            wall_seconds=wall,
+            workers=self.workers,
+            jobs_simulated=simulated,
+            jobs_failed=failed,
+            fault_policy={"retries": self.retries,
+                          "retry_backoff": self.retry_backoff,
+                          "fail_fast": False,
+                          "timeout": self.timeout,
+                          "resume": batch.spec.resume},
+            job_records=records,
+            cache=self.cache.counters(),
+            aggregates=aggregates,
+        )
+
+    async def _finish_batch(self, batch: Batch,
+                            outcomes: List[SweepOutcome],
+                            started_at: str, wall: float) -> None:
+        manifest = self._manifest_for(batch, outcomes, started_at, wall)
+        manifest_path = None
+        if self.manifest_dir is not None:
+            from pathlib import Path
+
+            directory = Path(self.manifest_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            manifest_path = str(
+                directory / f"{batch.id}.manifest.json")
+            manifest.write(manifest_path)
+        distinct = {id(o) for o in outcomes if o is not None}
+        by_source: Dict[str, int] = {}
+        ok = 0
+        counted: set = set()
+        for outcome in outcomes:
+            if outcome is None or id(outcome) in counted:
+                continue
+            counted.add(id(outcome))
+            by_source[outcome.source] = (
+                by_source.get(outcome.source, 0) + 1)
+            if outcome.ok:
+                ok += 1
+        await batch.push({
+            "event": "batch_end",
+            "batch_id": batch.id,
+            "jobs": len(batch.spec.jobs),
+            "distinct_jobs": len(distinct),
+            "ok": ok,
+            "failed": len(distinct) - ok,
+            "by_source": by_source,
+            "wall_seconds": wall,
+            "manifest_path": manifest_path,
+            "manifest": manifest.to_dict(),
+        })
+
+    async def _run_batch_local(self, batch: Batch) -> None:
+        """Execute one batch on this host's pool via
+        :func:`runner.run_sweep` (cache dedup included)."""
+        loop = asyncio.get_running_loop()
+        started_at = _now_iso()
+        perf = time.perf_counter()
+        await batch.push({
+            "event": "batch_start", "batch_id": batch.id,
+            "tenant": batch.spec.tenant,
+            "jobs": len(batch.spec.jobs),
+            "distinct_jobs": len(set(batch.digests)),
+            "mode": "local", "workers": self.workers})
+        jobs = [spec.sim_job() for spec in batch.spec.jobs]
+
+        def on_outcome(outcome: SweepOutcome) -> None:
+            # Runs on the executor thread; hand the event to the loop.
+            event = self._job_event(batch, outcome)
+            loop.call_soon_threadsafe(
+                loop.create_task, batch.push(event))
+
+        outcomes = await loop.run_in_executor(None, lambda: run_sweep(
+            jobs, workers=self.workers, cache=self.cache,
+            timeout=self.timeout, retries=self.retries,
+            retry_backoff=self.retry_backoff,
+            resume=batch.spec.resume, on_outcome=on_outcome))
+        await self._finish_batch(batch, outcomes, started_at,
+                                 time.perf_counter() - perf)
+
+    async def _run_batch_spool(self, batch: Batch) -> None:
+        """Execute one batch by enqueueing cache misses into the shared
+        spool and polling for worker completions.
+
+        Cache hits and sticky quarantine records are answered directly
+        (same dedup-before-fan-out as local mode); only true misses hit
+        the queue, and two batches naming one digest share one spool
+        entry.
+        """
+        from repro.experiments.pool import JobFailure
+        from repro.experiments.runner import BenchmarkRun
+
+        assert self.spool is not None
+        started_at = _now_iso()
+        perf = time.perf_counter()
+        distinct: Dict[str, object] = {}   # digest -> SimJob
+        spec_of: Dict[str, object] = {}    # digest -> JobSpec
+        for spec, digest in zip(batch.spec.jobs, batch.digests):
+            if digest not in distinct:
+                distinct[digest] = spec.sim_job()
+                spec_of[digest] = spec
+        await batch.push({
+            "event": "batch_start", "batch_id": batch.id,
+            "tenant": batch.spec.tenant,
+            "jobs": len(batch.spec.jobs),
+            "distinct_jobs": len(distinct),
+            "mode": "spool", "spool": str(self.spool.root)})
+        outcome_of: Dict[str, SweepOutcome] = {}
+        pending: List[str] = []
+        for digest, job in distinct.items():
+            run = self.cache.load(job.config, job.benchmark, job.measure,
+                                  job.warmup, job.seed)
+            if run is not None:
+                outcome = SweepOutcome(job=job, source="cache", run=run)
+                outcome_of[digest] = outcome
+                await batch.push(self._job_event(batch, outcome))
+                continue
+            if batch.spec.resume:
+                self.cache.clear_failure(job.config, job.benchmark,
+                                         job.measure, job.warmup,
+                                         job.seed)
+                self.spool.forget_failure(digest)
+            else:
+                record = self.cache.load_failure(
+                    job.config, job.benchmark, job.measure, job.warmup,
+                    job.seed)
+                if record is not None:
+                    failure = JobFailure.from_dict(job, record)
+                    outcome = SweepOutcome(
+                        job=job, source="quarantine", failure=failure,
+                        attempts=failure.attempts,
+                        wall_seconds=failure.wall_seconds)
+                    outcome_of[digest] = outcome
+                    await batch.push(self._job_event(batch, outcome))
+                    continue
+            self.spool.enqueue(digest, {
+                "job": spec_of[digest].to_dict(),
+                "policy": {"timeout": self.timeout,
+                           "retries": self.retries,
+                           "retry_backoff": self.retry_backoff},
+                "resume": batch.spec.resume,
+                "batch_id": batch.id,
+            })
+            pending.append(digest)
+        while pending:
+            await asyncio.sleep(self.spool_poll)
+            still: List[str] = []
+            for digest in pending:
+                state, payload = self.spool.state(digest)
+                job = distinct[digest]
+                if state == "done" and payload is not None:
+                    outcome = SweepOutcome(
+                        job=job,
+                        source=payload.get("source", "simulated"),
+                        run=BenchmarkRun.from_dict(payload["run"]),
+                        wall_seconds=payload.get("wall_seconds", 0.0),
+                        attempts=payload.get("attempts", 0))
+                elif state == "failed" and payload is not None:
+                    failure = JobFailure.from_dict(
+                        job, payload.get("failure", {}))
+                    outcome = SweepOutcome(
+                        job=job, source="simulated", failure=failure,
+                        attempts=failure.attempts,
+                        wall_seconds=failure.wall_seconds)
+                else:
+                    still.append(digest)
+                    continue
+                outcome_of[digest] = outcome
+                await batch.push(self._job_event(batch, outcome))
+            pending = still
+        outcomes = [outcome_of[digest] for digest in batch.digests]
+        await self._finish_batch(batch, outcomes, started_at,
+                                 time.perf_counter() - perf)
+
+    # ------------------------------------------------------------------
+    # HTTP front end
+    # ------------------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, path, body = request
+                await self._route(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, path, _version = parts
+        length = 0
+        while True:
+            header = await reader.readline()
+            if len(header) > _MAX_LINE:
+                return None
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+        if length < 0 or length > _MAX_BODY:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    @staticmethod
+    def _respond(writer: asyncio.StreamWriter, status: int,
+                 payload: Dict) -> None:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                   404: "Not Found", 405: "Method Not Allowed",
+                   429: "Too Many Requests",
+                   500: "Internal Server Error"}
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        head = (f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        path = path.split("?", 1)[0]
+        if method == "POST" and path == "/v1/batches":
+            await self._handle_submit(body, writer)
+        elif method == "GET" and path == "/v1/status":
+            self._respond(writer, 200, self.status())
+        elif method == "GET" and path.startswith("/v1/batches/"):
+            rest = path[len("/v1/batches/"):]
+            if rest.endswith("/events"):
+                batch = self.batches.get(rest[: -len("/events")])
+                if batch is None:
+                    self._respond(writer, 404,
+                                  {"error": "unknown batch"})
+                else:
+                    await self._stream_events(batch, writer)
+            else:
+                batch = self.batches.get(rest)
+                if batch is None:
+                    self._respond(writer, 404,
+                                  {"error": "unknown batch"})
+                else:
+                    self._respond(writer, 200, batch.snapshot())
+        elif path.startswith("/v1/"):
+            self._respond(writer, 405 if method not in ("GET", "POST")
+                          else 404, {"error": f"no route for {method} "
+                                              f"{path}"})
+        else:
+            self._respond(writer, 404, {"error": f"no route for "
+                                                 f"{method} {path}"})
+        await writer.drain()
+
+    async def _handle_submit(self, body: bytes,
+                             writer: asyncio.StreamWriter) -> None:
+        assert self._wake is not None
+        try:
+            data = json.loads(body.decode() or "null")
+        except (ValueError, UnicodeDecodeError):
+            self._respond(writer, 400,
+                          {"error": "request body is not valid JSON"})
+            return
+        try:
+            spec = parse_batch(data)
+        except ProtocolError as error:
+            self.metrics.counter("serve.rejected_protocol").add()
+            self._respond(writer, 400, {"error": str(error)})
+            return
+        try:
+            policy = self.quotas.admit(spec.tenant, len(spec.jobs))
+        except QuotaExceeded as error:
+            self.metrics.counter("serve.rejected_quota").add()
+            self._respond(writer, 429, {"error": str(error)})
+            return
+        digests = [job.digest() for job in spec.jobs]
+        batch = Batch(f"b{next(self._ids):06d}", spec, digests,
+                      policy.priority)
+        self.batches[batch.id] = batch
+        heapq.heappush(self._queue,
+                       (-policy.priority, next(self._seq), batch))
+        self._wake.set()
+        self.metrics.counter("serve.batches_accepted").add()
+        self.metrics.counter("serve.jobs_accepted").add(len(spec.jobs))
+        self._respond(writer, 202, {
+            "batch_id": batch.id,
+            "tenant": spec.tenant,
+            "priority": policy.priority,
+            "jobs": len(spec.jobs),
+            "distinct_jobs": len(set(digests)),
+            "digests": digests,
+            "events_url": f"/v1/batches/{batch.id}/events",
+            "batch_url": f"/v1/batches/{batch.id}",
+        })
+
+    async def _stream_events(self, batch: Batch,
+                             writer: asyncio.StreamWriter) -> None:
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Transfer-Encoding: chunked\r\n"
+                     b"Connection: close\r\n\r\n")
+        async for event in batch.stream():
+            chunk = (json.dumps(event, sort_keys=True) + "\n").encode()
+            writer.write(f"{len(chunk):x}\r\n".encode() + chunk
+                         + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    def status(self) -> Dict:
+        """The ``/v1/status`` payload: every counter the ops story
+        needs, straight from the existing registries."""
+        return {
+            "server": {
+                "host": self.host,
+                "port": self.port,
+                "workers": self.workers,
+                "mode": "spool" if self.spool is not None else "local",
+                "uptime_seconds": (time.monotonic()
+                                   - self.started_monotonic),
+                "code_version": code_version(),
+            },
+            "queue": {
+                "depth": len(self._queue),
+                "running": self._running,
+                "batches_total": len(self.batches),
+            },
+            "cache": self.cache.counters(),
+            "metrics": self.metrics.counters(),
+            "tenants": self.quotas.snapshot(),
+            "spool": (self.spool.depth()
+                      if self.spool is not None else None),
+        }
+
+
+# ----------------------------------------------------------------------
+# Embedding helper (tests drive the server in-process)
+# ----------------------------------------------------------------------
+
+
+def start_in_background(**kwargs):
+    """Start a :class:`SimServer` on its own event-loop thread.
+
+    Returns ``(server, stop)``: ``server.port`` is bound (port 0 means
+    an OS-assigned free port) by the time this returns, and ``stop()``
+    shuts the loop down and joins the thread.  Test machinery — the
+    CLI path is :func:`cmd`.
+    """
+    server = SimServer(**kwargs)
+    ready = threading.Event()
+    state: Dict[str, object] = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        state["loop"] = loop
+        loop.run_until_complete(server.start())
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve",
+                              daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("server failed to start within 30s")
+
+    def stop() -> None:
+        loop = state["loop"]
+
+        async def _shutdown() -> None:
+            await server.stop()
+            loop.stop()
+
+        loop.call_soon_threadsafe(
+            lambda: loop.create_task(_shutdown()))
+        thread.join(timeout=30)
+
+    return server, stop
+
+
+# ----------------------------------------------------------------------
+# repro-exp serve
+# ----------------------------------------------------------------------
+
+
+def configure_parser(parser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8023,
+                        help="bind port; 0 picks a free port "
+                             "(default 8023)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed result cache "
+                             "(default ~/.cache/fxa-repro)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="pool worker processes per sweep "
+                             "(default 1)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job execution deadline")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry budget before quarantine "
+                             "(default 0)")
+    parser.add_argument("--retry-backoff", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="base exponential-backoff delay "
+                             "(default 0.25)")
+    parser.add_argument("--quotas", default=None, metavar="FILE",
+                        help="per-tenant quota/priority policy JSON")
+    parser.add_argument("--spool", default=None, metavar="DIR",
+                        help="shared spool directory: enqueue misses "
+                             "for repro-exp spool-worker hosts instead "
+                             "of simulating locally")
+    parser.add_argument("--manifest-dir", default=None, metavar="DIR",
+                        help="write one run manifest per batch here")
+    parser.add_argument("--inject-fault", default=None, metavar="SPEC",
+                        help="fault injector for smoke tests, e.g. "
+                             "crash:mcf (see fxa-experiments "
+                             "--inject-fault)")
+
+
+def cmd(args) -> int:
+    quotas = (QuotaRegistry.from_file(args.quotas)
+              if args.quotas else QuotaRegistry())
+    spool = Spool(args.spool) if args.spool else None
+    if args.inject_fault:
+        from repro.experiments.pool import FaultSpec, set_fault_injector
+
+        set_fault_injector(FaultSpec.parse(args.inject_fault))
+    server = SimServer(
+        cache=DiskCache(args.cache_dir),
+        workers=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        quotas=quotas,
+        spool=spool,
+        manifest_dir=args.manifest_dir,
+        host=args.host,
+        port=args.port,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        mode = (f"spool={spool.root}" if spool
+                else f"local, {server.workers} worker(s)")
+        print(f"[serve] listening on http://{server.host}:"
+              f"{server.port} ({mode}, cache {server.cache.root})")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("[serve] interrupted")
+    return 0
+
+
+__all__ = ["Batch", "SimServer", "start_in_background"]

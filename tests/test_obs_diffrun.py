@@ -1,12 +1,15 @@
 """Tests for cross-run regression diffing (repro.obs.diffrun)."""
 
 import json
+import multiprocessing
+import threading
 
 import pytest
 
 from repro.obs.diffrun import (
     EXIT_REGRESSION,
     DiffThresholds,
+    append_history_entry,
     append_trajectory,
     diff_manifests,
     format_diff_report,
@@ -238,3 +241,68 @@ class TestTrajectory:
         path.write_text("not json at all")
         append_trajectory(manifest([aggregate()]), str(path))
         assert len(json.loads(path.read_text())["entries"]) == 1
+
+    def test_corrupt_history_is_preserved_on_disk(self, tmp_path):
+        # Months of trajectory must never be silently discarded: the
+        # unreadable bytes move to <path>.corrupt before a fresh
+        # history starts.
+        path = tmp_path / "BENCH_trajectory.json"
+        path.write_text('{"entries": [{"truncated...')
+        append_trajectory(manifest([aggregate()]), str(path))
+        corrupt = tmp_path / "BENCH_trajectory.json.corrupt"
+        assert corrupt.read_text() == '{"entries": [{"truncated...'
+        assert len(json.loads(path.read_text())["entries"]) == 1
+
+    def test_non_dict_history_is_preserved_as_corrupt(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        path.write_text('["valid json", "wrong shape"]')
+        append_history_entry({"n": 1}, str(path))
+        assert json.loads(
+            (tmp_path / "BENCH_trajectory.json.corrupt").read_text()
+        ) == ["valid json", "wrong shape"]
+        assert json.loads(path.read_text())["entries"] == [{"n": 1}]
+
+
+def _history_appender(path, tag, count):
+    for index in range(count):
+        append_history_entry({"tag": tag, "index": index}, path)
+
+
+class TestConcurrentHistory:
+    def test_concurrent_appends_lose_no_entries(self, tmp_path):
+        # The acceptance scenario: several sweeps appending to one
+        # trajectory file concurrently.  Without the exclusive lock
+        # around the read-modify-write, interleaved writers overwrite
+        # each other's entries; with it, every append survives and the
+        # file is valid JSON throughout.
+        path = str(tmp_path / "BENCH_trajectory.json")
+        writers, appends = 4, 12
+        processes = [
+            multiprocessing.Process(target=_history_appender,
+                                    args=(path, tag, appends))
+            for tag in range(writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        entries = json.loads(open(path).read())["entries"]
+        assert len(entries) == writers * appends
+        for tag in range(writers):
+            mine = [e["index"] for e in entries if e["tag"] == tag]
+            assert sorted(mine) == list(range(appends))
+
+    def test_threaded_appends_lose_no_entries(self, tmp_path):
+        path = str(tmp_path / "BENCH_trajectory.json")
+        threads = [
+            threading.Thread(target=_history_appender,
+                             args=(path, tag, 10))
+            for tag in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        entries = json.loads(open(path).read())["entries"]
+        assert len(entries) == 40

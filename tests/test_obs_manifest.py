@@ -1,10 +1,15 @@
 """Tests for run manifests (provenance records)."""
 
 import json
+import os
+from types import SimpleNamespace
+
+import pytest
 
 from repro.obs import (
     JobRecord,
     RunManifest,
+    aggregate_entry,
     host_info,
     manifest_path_for,
 )
@@ -97,6 +102,62 @@ class TestAccounting:
         manifest = RunManifest.from_dict(data)
         assert manifest.aggregates == []
         assert manifest.host == host_info()
+
+
+class TestAtomicWrite:
+    def test_failed_write_leaves_existing_manifest_intact(self,
+                                                          tmp_path):
+        # Regression for the torn-manifest bug: write used to stream
+        # straight into the destination, so a crash mid-serialisation
+        # left a reader-visible half-written file.  Now the tmp +
+        # os.replace publication means a failed write changes nothing.
+        path = tmp_path / "run.manifest.json"
+        good = sample_manifest()
+        good.write(path)
+        before = path.read_bytes()
+        bad = sample_manifest()
+        bad.outputs = {"oops": object()}  # not JSON-serialisable
+        with pytest.raises(TypeError):
+            bad.write(path)
+        assert path.read_bytes() == before
+        assert RunManifest.read(path) == good
+
+    def test_failed_write_leaves_no_tmp_litter(self, tmp_path):
+        path = tmp_path / "run.manifest.json"
+        bad = sample_manifest()
+        bad.outputs = {"oops": object()}
+        with pytest.raises(TypeError):
+            bad.write(path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_tmp_names_are_collision_free(self, tmp_path):
+        # Shared-filesystem safety: two processes on different hosts
+        # can share a pid, so the tmp suffix carries hostname + pid +
+        # a per-process monotonic counter.
+        from repro.atomicio import tmp_path_for
+
+        names = {tmp_path_for(tmp_path / "x.json") for _ in range(100)}
+        assert len(names) == 100
+        name = names.pop()
+        assert str(os.getpid()) in name
+
+    def test_aggregate_entry_matches_manifest_schema(self):
+        # The helper shared by the CLI sweep and the job server must
+        # emit exactly the documented aggregate keys.
+        run = SimpleNamespace(
+            model="BIG", benchmark="hmmer", ipc=1.5,
+            stats=SimpleNamespace(cycles=10_000, committed=15_000,
+                                  stalls={"iq_full": 3}),
+            total_energy=3.0e5,
+            energy=SimpleNamespace(energy_per_instruction=20.0))
+        entry = aggregate_entry(run, wall_seconds=0.5)
+        assert set(entry) == {
+            "model", "benchmark", "ipc", "cycles", "committed",
+            "energy_total", "energy_per_instruction", "stalls",
+            "wall_seconds", "insts_per_second", "ff_skipped_cycles",
+            "topdown"}
+        assert entry["insts_per_second"] == 30_000.0
+        assert aggregate_entry(run)["insts_per_second"] == 0.0
 
 
 class TestPathHelper:

@@ -4,9 +4,11 @@ import pytest
 
 from repro.core import model_config
 from repro.experiments.pool import (
+    MAX_RETRY_DELAY,
     JobFailure,
     JobTimeoutError,
     SimJob,
+    retry_delay,
     run_jobs,
     total_wall_seconds,
 )
@@ -79,6 +81,48 @@ class TestRunJobs:
         ]
         with pytest.raises(JobTimeoutError):
             run_jobs(jobs, workers=2, timeout=1e-4, fail_fast=True)
+
+
+class TestRetryDelay:
+    def _job(self):
+        return SimJob(config=model_config("BIG"), benchmark="hmmer",
+                      **SMALL)
+
+    def test_zero_backoff_means_no_delay(self):
+        assert retry_delay(0.0, 5) == 0.0
+        assert retry_delay(0.0, 5, self._job()) == 0.0
+
+    def test_exponential_growth_without_jitter(self):
+        assert retry_delay(0.25, 1) == 0.25
+        assert retry_delay(0.25, 2) == 0.5
+        assert retry_delay(0.25, 3) == 1.0
+
+    def test_delay_is_capped(self):
+        # Regression: the old unbounded 2**n backoff reached minutes
+        # within a dozen attempts and hours soon after.
+        assert retry_delay(0.25, 60) == MAX_RETRY_DELAY
+        assert retry_delay(0.25, 60, self._job()) <= MAX_RETRY_DELAY
+        assert retry_delay(1.0, 6, cap=4.0) == 4.0
+
+    def test_jitter_is_deterministic_per_job_and_attempt(self):
+        job = self._job()
+        assert (retry_delay(0.25, 2, job)
+                == retry_delay(0.25, 2, job))
+        # Different attempts (and different jobs) spread differently.
+        other = SimJob(config=model_config("LITTLE"),
+                       benchmark="hmmer", **SMALL)
+        delays = {retry_delay(0.25, attempt, job)
+                  for attempt in (1, 2, 3)}
+        assert len(delays) == 3
+        assert (retry_delay(0.25, 2, job)
+                != retry_delay(0.25, 2, other))
+
+    def test_jitter_stays_within_half_to_full_delay(self):
+        job = self._job()
+        for attempt in range(1, 12):
+            base = min(MAX_RETRY_DELAY, 0.25 * 2.0 ** (attempt - 1))
+            delay = retry_delay(0.25, attempt, job)
+            assert 0.5 * base <= delay <= base
 
 
 class TestPrefetchParallel:
