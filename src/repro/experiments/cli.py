@@ -85,6 +85,7 @@ from repro.obs import (
     manifest_path_for,
     merge_topdown_payloads,
 )
+from repro.obs import slog
 from repro.obs.diffrun import (
     DiffThresholds,
     EXIT_REGRESSION,
@@ -643,7 +644,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="Write the JSON divergence report of --fuzz/--validate "
              "to PATH (CI uploads it on failure).",
     )
+    slog.add_logging_args(parser)
     args = parser.parse_args(argv)
+    slog.configure_from_args(args)
     if args.measure < 1:
         parser.error("--measure must be >= 1")
     if args.warmup < 0:

@@ -325,16 +325,32 @@ def _terminate(proc) -> None:
 class _Running:
     """Parent-side state of one in-flight attempt."""
 
-    __slots__ = ("proc", "attempt", "launched", "exec_started",
-                 "deadline", "dead_since")
+    __slots__ = ("proc", "attempt", "launched", "launched_ts",
+                 "exec_started", "exec_started_ts", "deadline",
+                 "dead_since")
 
     def __init__(self, proc, attempt: int):
         self.proc = proc
         self.attempt = attempt
         self.launched = time.monotonic()
+        self.launched_ts = time.time()
         self.exec_started: Optional[float] = None
+        self.exec_started_ts: Optional[float] = None
         self.deadline: Optional[float] = None
         self.dead_since: Optional[float] = None
+
+
+def _notify_attempt(on_attempt, job: SimJob, attempt: int,
+                    started_ts: float, duration: float, status: str,
+                    worker_pid: int) -> None:
+    """Fire the per-attempt telemetry hook; never let it fail a sweep."""
+    if on_attempt is None:
+        return
+    try:
+        on_attempt(job, attempt, started_ts, duration, status,
+                   worker_pid)
+    except Exception:
+        pass
 
 
 def _run_parallel(
@@ -346,6 +362,7 @@ def _run_parallel(
     fail_fast: bool,
     on_result,
     context,
+    on_attempt=None,
 ) -> List[Union[JobResult, JobFailure]]:
     """Slot-based scheduler: one process per attempt, deadline per job.
 
@@ -414,6 +431,7 @@ def _run_parallel(
                     continue  # stale message from a terminated attempt
                 if kind == "started":
                     state.exec_started = time.monotonic()
+                    state.exec_started_ts = time.time()
                     if timeout is not None:
                         state.deadline = state.exec_started + timeout
                 elif kind == "ok":
@@ -421,12 +439,20 @@ def _run_parallel(
                     state.proc.join(5.0)
                     payload.attempts = attempt
                     outcomes[index] = payload
+                    _notify_attempt(on_attempt, jobs[index], attempt,
+                                    payload.started_ts,
+                                    payload.wall_seconds, "ok",
+                                    payload.worker_pid)
                     if on_result is not None:
                         on_result(payload)
                 else:  # "error"
                     del running[index]
                     state.proc.join(5.0)
                     error_type, error, pid, wall = payload
+                    _notify_attempt(
+                        on_attempt, jobs[index], attempt,
+                        state.exec_started_ts or state.launched_ts,
+                        wall, "exception", pid)
                     settle(index, JobFailure(
                         job=jobs[index], cause="exception", error=error,
                         error_type=error_type, attempts=attempt,
@@ -444,6 +470,10 @@ def _run_parallel(
                         and proc.is_alive()):
                     _terminate(proc)
                     del running[index]
+                    _notify_attempt(
+                        on_attempt, jobs[index], state.attempt,
+                        state.exec_started_ts or state.launched_ts,
+                        ran_for, "timeout", proc.pid or 0)
                     settle(index, JobFailure(
                         job=jobs[index], cause="timeout",
                         error=(f"exceeded the {timeout:.1f}s per-job "
@@ -460,6 +490,10 @@ def _run_parallel(
                     elif now - state.dead_since > _DEATH_GRACE_SECONDS:
                         proc.join(1.0)
                         del running[index]
+                        _notify_attempt(
+                            on_attempt, jobs[index], state.attempt,
+                            state.exec_started_ts or state.launched_ts,
+                            ran_for, "worker-death", proc.pid or 0)
                         settle(index, JobFailure(
                             job=jobs[index], cause="worker-death",
                             error=(f"worker pid {proc.pid} exited with "
@@ -483,6 +517,7 @@ def _run_serial(
     retry_backoff: float,
     fail_fast: bool,
     on_result,
+    on_attempt=None,
 ) -> List[Union[JobResult, JobFailure]]:
     injector = _FAULT_INJECTOR
     outcomes: List[Union[JobResult, JobFailure]] = []
@@ -493,6 +528,7 @@ def _run_serial(
     for job in jobs:
         attempt = 1
         while True:
+            started_ts = time.time()
             started = time.perf_counter()
             failure = None
             try:
@@ -507,6 +543,9 @@ def _run_serial(
                     error_type=type(exc).__name__, attempts=attempt,
                     wall_seconds=time.perf_counter() - started,
                     worker_pid=os.getpid())
+                _notify_attempt(on_attempt, job, attempt, started_ts,
+                                failure.wall_seconds, "exception",
+                                os.getpid())
             else:
                 if timeout is not None and result.wall_seconds > timeout:
                     # Post-hoc by construction: the job already ran to
@@ -520,10 +559,16 @@ def _run_serial(
                         error_type="JobTimeoutError", attempts=attempt,
                         wall_seconds=result.wall_seconds,
                         worker_pid=os.getpid())
+                    _notify_attempt(on_attempt, job, attempt,
+                                    started_ts, result.wall_seconds,
+                                    "timeout", os.getpid())
                     attempt = retries + 1
                 else:
                     result.attempts = attempt
                     outcomes.append(result)
+                    _notify_attempt(on_attempt, job, attempt,
+                                    started_ts, result.wall_seconds,
+                                    "ok", result.worker_pid)
                     if on_result is not None:
                         on_result(result)
                     break
@@ -550,6 +595,7 @@ def run_jobs(
     retry_backoff: float = 0.25,
     fail_fast: bool = False,
     on_result: Optional[Callable[[JobResult], None]] = None,
+    on_attempt: Optional[Callable[..., None]] = None,
 ) -> List[Union[JobResult, JobFailure]]:
     """Run every job; outcomes in submission order.
 
@@ -579,6 +625,14 @@ def run_jobs(
             completion order, for each successful :class:`JobResult`
             as it lands — e.g. to persist results incrementally so an
             interrupted sweep loses nothing.
+        on_attempt: Optional telemetry hook ``(job, attempt,
+            started_ts, duration, status, worker_pid)`` fired in the
+            parent for *every* terminal attempt — including ones that
+            will be retried — with ``status`` one of ``"ok"``,
+            ``"exception"``, ``"timeout"``, ``"worker-death"``.
+            ``started_ts`` is host wall-clock epoch seconds.  The hook
+            is observation-only: exceptions it raises are swallowed
+            and it must never affect results.
 
     Returns:
         One entry per job, in submission order: :class:`JobResult` for
@@ -594,11 +648,11 @@ def run_jobs(
     method = _available_start_method()
     if workers <= 1 or len(jobs) == 1 or method is None:
         return _run_serial(jobs, timeout, retries, retry_backoff,
-                           fail_fast, on_result)
+                           fail_fast, on_result, on_attempt)
     context = multiprocessing.get_context(method)
     return _run_parallel(jobs, min(workers, len(jobs)), timeout,
                          retries, retry_backoff, fail_fast, on_result,
-                         context)
+                         context, on_attempt)
 
 
 def split_outcomes(

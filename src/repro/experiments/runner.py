@@ -295,6 +295,7 @@ def run_sweep(
     retry_backoff: float = 0.25,
     resume: bool = False,
     on_outcome=None,
+    on_attempt=None,
 ) -> List[SweepOutcome]:
     """Serve a job list end to end: cache dedup, quarantine, pool.
 
@@ -312,8 +313,12 @@ def run_sweep(
     ``on_outcome`` fires once per *distinct* job in serving order —
     cache hits and quarantine replays first, then pool completions in
     completion order — which is what the server streams to clients.
-    Returns one :class:`SweepOutcome` per input job in submission
-    order; duplicate jobs share a single execution and outcome.
+    ``on_attempt`` is the pool's per-attempt telemetry hook (see
+    :func:`repro.experiments.pool.run_jobs`), passed through verbatim
+    so the serving layer can record one trace span per execution
+    attempt, retries included.  Returns one :class:`SweepOutcome` per
+    input job in submission order; duplicate jobs share a single
+    execution and outcome.
     """
     from repro.experiments.pool import JobFailure, SimJob, run_jobs
 
@@ -383,7 +388,7 @@ def run_sweep(
     pool_outcomes = run_jobs(misses, workers=workers, timeout=timeout,
                              retries=retries,
                              retry_backoff=retry_backoff,
-                             on_result=_landed)
+                             on_result=_landed, on_attempt=on_attempt)
     for job, key, outcome in zip(misses, miss_keys, pool_outcomes):
         if isinstance(outcome, JobFailure):
             if cache is not None:

@@ -376,6 +376,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.experiments import dse as dse_module
     from repro.serve import server as serve_module
     from repro.serve import spool as spool_module
+    from repro.serve import top as top_module
 
     dse = sub.add_parser(
         "dse", help="design-space autotuner: successive-halving sweep "
@@ -395,6 +396,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "execution behind repro-exp serve)")
     spool_module.configure_parser(worker)
 
+    top = sub.add_parser(
+        "top", help="live terminal dashboard for a running server: "
+                    "queue depth, hit ratio, latency percentiles, "
+                    "throughput sparklines from /v1/metrics")
+    top_module.configure_parser(top)
+
     args = parser.parse_args(argv)
     if args.command == "diff":
         return _cmd_diff(args)
@@ -406,6 +413,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return serve_module.cmd(args)
     if args.command == "spool-worker":
         return spool_module.cmd(args)
+    if args.command == "top":
+        return top_module.cmd(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -21,7 +21,7 @@ cache and the CLI ``--json`` output.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class Counter:
@@ -98,6 +98,89 @@ class Histogram:
                 f"mean={self.mean:.2f}>")
 
 
+class Gauge:
+    """A named value that can go up and down (queue depth, backlog)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0):
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+#: Family kinds recognised by :class:`Family` (Prometheus vocabulary).
+FAMILY_KINDS = ("counter", "gauge", "histogram")
+
+
+class Family:
+    """A labeled metric family: one child metric per label-value tuple.
+
+    Mirrors the Prometheus data model — ``labels(route="/v1/status",
+    code="200")`` returns (creating on demand) the child
+    :class:`Counter` / :class:`Gauge` / :class:`Histogram` for that
+    label combination.  Children are keyed by the tuple of label values
+    in declaration order, so lookup is a dict probe, not string
+    formatting.
+    """
+
+    __slots__ = ("name", "kind", "label_names", "help", "bounds",
+                 "_children")
+
+    def __init__(self, name: str, kind: str,
+                 label_names: Sequence[str], help_text: str = "",
+                 bounds: Optional[Sequence[float]] = None):
+        if kind not in FAMILY_KINDS:
+            raise ValueError(f"unknown family kind {kind!r}")
+        if kind == "histogram" and not bounds:
+            raise ValueError("histogram family needs bucket bounds")
+        self.name = name
+        self.kind = kind
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+        self.help = help_text
+        self.bounds = list(bounds) if bounds else None
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labels: object):
+        """Child metric for this label combination (created on demand)."""
+        try:
+            key = tuple(str(labels[name]) for name in self.label_names)
+        except KeyError as exc:
+            raise KeyError(
+                f"family {self.name!r} requires labels "
+                f"{self.label_names}, got {sorted(labels)}") from exc
+        if len(labels) != len(self.label_names):
+            raise KeyError(
+                f"family {self.name!r} requires labels "
+                f"{self.label_names}, got {sorted(labels)}")
+        child = self._children.get(key)
+        if child is None:
+            if self.kind == "counter":
+                child = Counter(self.name)
+            elif self.kind == "gauge":
+                child = Gauge(self.name)
+            else:
+                child = Histogram(self.name, self.bounds or [1.0])
+            self._children[key] = child
+        return child
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """``(label_values, child)`` pairs sorted by label values."""
+        return sorted(self._children.items())
+
+    def __repr__(self) -> str:
+        return (f"<Family {self.name} kind={self.kind} "
+                f"children={len(self._children)}>")
+
+
 class _NullCounter:
     """Shared do-nothing counter (the disabled registry hands it out)."""
 
@@ -127,8 +210,46 @@ class _NullHistogram:
         pass
 
 
+class _NullGauge:
+    """Shared do-nothing gauge."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float = 1.0) -> None:
+        pass
+
+
 _NULL_COUNTER = _NullCounter()
 _NULL_HISTOGRAM = _NullHistogram()
+_NULL_GAUGE = _NullGauge()
+
+
+class _NullFamily:
+    """Shared do-nothing family: ``labels(...)`` returns a no-op child."""
+
+    __slots__ = ("_child",)
+    name = "<null>"
+    label_names: Tuple[str, ...] = ()
+    help = ""
+
+    def __init__(self, child):
+        self._child = child
+
+    def labels(self, **labels: object):
+        return self._child
+
+    def children(self) -> List:
+        return []
+
+
+_NULL_COUNTER_FAMILY = _NullFamily(_NULL_COUNTER)
+_NULL_GAUGE_FAMILY = _NullFamily(_NULL_GAUGE)
+_NULL_HISTOGRAM_FAMILY = _NullFamily(_NULL_HISTOGRAM)
 
 
 class MetricsRegistry:
@@ -139,6 +260,8 @@ class MetricsRegistry:
     def __init__(self):
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._families: Dict[str, Family] = {}
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
@@ -158,21 +281,76 @@ class MetricsRegistry:
             hist = self._histograms[name] = Histogram(name, bounds)
         return hist
 
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def family(self, name: str, kind: str,
+               label_names: Sequence[str], help_text: str = "",
+               bounds: Optional[Sequence[float]] = None) -> Family:
+        """Labeled metric family (created on first use).
+
+        Re-requesting an existing family validates that kind and label
+        names match the original declaration — a mismatch is a
+        programming error, not a merge.
+        """
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = Family(
+                name, kind, label_names, help_text, bounds)
+        elif (family.kind != kind
+              or family.label_names != tuple(label_names)):
+            raise ValueError(
+                f"family {name!r} redeclared with different "
+                f"kind/labels ({family.kind}{family.label_names} vs "
+                f"{kind}{tuple(label_names)})")
+        return family
+
+    def counter_family(self, name: str, label_names: Sequence[str],
+                       help_text: str = "") -> Family:
+        return self.family(name, "counter", label_names, help_text)
+
+    def gauge_family(self, name: str, label_names: Sequence[str],
+                     help_text: str = "") -> Family:
+        return self.family(name, "gauge", label_names, help_text)
+
+    def histogram_family(self, name: str, label_names: Sequence[str],
+                         bounds: Sequence[float],
+                         help_text: str = "") -> Family:
+        return self.family(name, "histogram", label_names, help_text,
+                           bounds)
+
     def counters(self) -> Dict[str, int]:
         return {name: c.value for name, c in sorted(self._counters.items())}
 
     def histograms(self) -> Dict[str, Histogram]:
         return dict(self._histograms)
 
+    def gauges(self) -> Dict[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def families(self) -> Dict[str, Family]:
+        return dict(sorted(self._families.items()))
+
     def to_dict(self) -> Dict:
-        """JSON-safe dump: ``{"counters": {...}, "histograms": {...}}``."""
-        return {
+        """JSON-safe dump: ``{"counters": {...}, "histograms": {...}}``.
+
+        Gauges and families are serving-side constructs; the keys only
+        appear when populated so simulator results (which never use
+        them) stay byte-identical to earlier releases.
+        """
+        data = {
             "counters": self.counters(),
             "histograms": {
                 name: hist.to_dict()
                 for name, hist in sorted(self._histograms.items())
             },
         }
+        if self._gauges:
+            data["gauges"] = self.gauges()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "MetricsRegistry":
@@ -181,6 +359,8 @@ class MetricsRegistry:
             registry._counters[name] = Counter(name, value)
         for name, payload in data.get("histograms", {}).items():
             registry._histograms[name] = Histogram.from_dict(name, payload)
+        for name, value in data.get("gauges", {}).items():
+            registry._gauges[name] = Gauge(name, value)
         return registry
 
 
@@ -200,10 +380,41 @@ class NullMetricsRegistry:
                   bounds: Optional[Sequence[float]] = None) -> _NullHistogram:
         return _NULL_HISTOGRAM
 
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def family(self, name: str, kind: str,
+               label_names: Sequence[str], help_text: str = "",
+               bounds: Optional[Sequence[float]] = None) -> _NullFamily:
+        if kind == "gauge":
+            return _NULL_GAUGE_FAMILY
+        if kind == "histogram":
+            return _NULL_HISTOGRAM_FAMILY
+        return _NULL_COUNTER_FAMILY
+
+    def counter_family(self, name: str, label_names: Sequence[str],
+                       help_text: str = "") -> _NullFamily:
+        return _NULL_COUNTER_FAMILY
+
+    def gauge_family(self, name: str, label_names: Sequence[str],
+                     help_text: str = "") -> _NullFamily:
+        return _NULL_GAUGE_FAMILY
+
+    def histogram_family(self, name: str, label_names: Sequence[str],
+                         bounds: Sequence[float],
+                         help_text: str = "") -> _NullFamily:
+        return _NULL_HISTOGRAM_FAMILY
+
     def counters(self) -> Dict[str, int]:
         return {}
 
     def histograms(self) -> Dict:
+        return {}
+
+    def gauges(self) -> Dict[str, float]:
+        return {}
+
+    def families(self) -> Dict:
         return {}
 
     def to_dict(self) -> Dict:

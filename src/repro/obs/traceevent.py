@@ -56,6 +56,21 @@ class TraceEventWriter:
             "args": {"name": name},
         })
 
+    def process_row(self, label: str) -> int:
+        """Allocate (or reuse) a named process row and return its pid.
+
+        Distributed-trace export maps each ``host:pid`` participant to
+        its own Perfetto process row; repeated calls with the same
+        label return the same pid so spans group correctly.
+        """
+        for pid, name in self._named_pids.items():
+            if name == label:
+                return pid
+        pid = self._next_core_pid
+        self._next_core_pid += 1
+        self._name_process(pid, label)
+        return pid
+
     def add_counter(self, name: str, ts: float, values: Dict[str, float],
                     pid: int) -> None:
         """One counter sample; multi-key ``values`` stack in one track."""

@@ -5,10 +5,15 @@ follows.  The streaming endpoint uses chunked transfer encoding, which
 ``http.client`` decodes transparently, so :meth:`ServeClient.stream`
 is a plain line-by-line JSON reader.
 
+    from repro.obs import slog
+
+    log = slog.get_logger("repro.serve.client")
     client = ServeClient("127.0.0.1", 8023)
     submitted = client.submit({"jobs": [{"benchmark": "hmmer"}]})
     for event in client.stream(submitted["batch_id"]):
-        print(event["event"], event.get("job", ""))
+        log.info("event", extra={"event": event["event"],
+                                 "job": event.get("job", ""),
+                                 "trace_id": event.get("trace_id")})
 """
 
 from __future__ import annotations
@@ -70,6 +75,27 @@ class ServeClient:
     def status(self) -> Dict:
         """GET the server's counter/queue/tenant status."""
         return self._request("GET", "/v1/status")
+
+    def metrics_text(self) -> str:
+        """GET the raw Prometheus exposition from ``/v1/metrics``."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", "/v1/metrics")
+            response = connection.getresponse()
+            text = response.read().decode()
+            if response.status >= 400:
+                raise ServeError(response.status, {"error": text})
+            return text
+        finally:
+            connection.close()
+
+    def metrics(self) -> Dict:
+        """GET ``/v1/metrics`` parsed into ``{name: [(labels, value)]}``
+        (see :func:`repro.serve.telemetry.parse_prometheus_text`)."""
+        from repro.serve.telemetry import parse_prometheus_text
+
+        return parse_prometheus_text(self.metrics_text())
 
     def stream(self, batch_id: str) -> Iterator[Dict]:
         """Yield the batch's JSON-lines events until ``batch_end``.

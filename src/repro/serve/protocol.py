@@ -12,6 +12,7 @@ A **batch** wraps a list of them plus submission options::
 
     {"tenant": "alice",             # quota/priority bucket
      "resume": false,               # clear quarantine records and retry
+     "trace_id": "4bf92f35...",     # optional: join an existing trace
      "jobs": [ {...}, {...} ]}
 
 Every spec maps deterministically onto a :class:`CoreConfig` (the
@@ -47,7 +48,7 @@ SERVE_MODELS: Tuple[str, ...] = MODEL_NAMES + ("CA",)
 
 _JOB_KEYS = frozenset(
     {"model", "overrides", "benchmark", "measure", "warmup", "seed"})
-_BATCH_KEYS = frozenset({"tenant", "resume", "jobs"})
+_BATCH_KEYS = frozenset({"tenant", "resume", "jobs", "trace_id"})
 
 
 class ProtocolError(ValueError):
@@ -111,10 +112,14 @@ class BatchSpec:
     jobs: List[JobSpec]
     tenant: str = "default"
     resume: bool = False
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict:
-        return {"tenant": self.tenant, "resume": self.resume,
+        data = {"tenant": self.tenant, "resume": self.resume,
                 "jobs": [job.to_dict() for job in self.jobs]}
+        if self.trace_id:
+            data["trace_id"] = self.trace_id
+        return data
 
 
 def _int_field(data: Mapping, key: str, default: int, minimum: int) -> int:
@@ -190,8 +195,17 @@ def parse_batch(data: object, max_jobs: Optional[int] = None) -> BatchSpec:
     resume = data.get("resume", False)
     if not isinstance(resume, bool):
         raise ProtocolError(f"'resume' must be a boolean, got {resume!r}")
+    trace_id = data.get("trace_id")
+    if trace_id is not None:
+        from repro.serve.telemetry import TRACE_ID_RE
+
+        if (not isinstance(trace_id, str)
+                or TRACE_ID_RE.match(trace_id) is None):
+            raise ProtocolError(
+                f"'trace_id' must be 8-64 lowercase hex characters, "
+                f"got {trace_id!r}")
     return BatchSpec(jobs=[parse_job(entry) for entry in jobs],
-                     tenant=tenant, resume=resume)
+                     tenant=tenant, resume=resume, trace_id=trace_id)
 
 
 __all__ = [

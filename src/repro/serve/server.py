@@ -39,14 +39,18 @@ from __future__ import annotations
 import asyncio
 import datetime
 import heapq
+import http.client
 import itertools
 import json
+import os
 import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.atomicio import _HOST
 from repro.experiments.diskcache import DiskCache, code_version, fingerprint
 from repro.experiments.runner import SweepOutcome, run_sweep
+from repro.obs import slog
 from repro.obs.manifest import (
     JobRecord,
     RunManifest,
@@ -56,9 +60,28 @@ from repro.obs.metrics import MetricsRegistry
 from repro.serve.protocol import BatchSpec, ProtocolError, parse_batch
 from repro.serve.quota import QuotaExceeded, QuotaRegistry
 from repro.serve.spool import Spool
+from repro.serve.telemetry import (
+    CONTENT_TYPE,
+    ServeTelemetry,
+    TraceContext,
+    normalize_route,
+    write_perfetto_trace,
+)
 
 _MAX_BODY = 16 * 1024 * 1024
 _MAX_LINE = 64 * 1024
+
+
+class _RequestError(Exception):
+    """A request we could parse far enough to answer with an error."""
+
+    def __init__(self, status: int, reason: str,
+                 method: str = "-", path: str = "-"):
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
+        self.method = method
+        self.path = path
 
 
 def _now_iso() -> str:
@@ -80,13 +103,21 @@ class Batch:
     """
 
     def __init__(self, batch_id: str, spec: BatchSpec,
-                 digests: List[str], priority: int):
+                 digests: List[str], priority: int,
+                 trace: Optional[TraceContext] = None):
         self.id = batch_id
         self.spec = spec
         self.digests = digests
         self.priority = priority
         self.events: List[Dict] = []
         self.done = False
+        self.trace = trace if trace is not None else TraceContext.new()
+        self.spans: List[Dict] = []
+        self.trace_path: Optional[str] = None
+        self.admitted_ts = time.time()
+        self.admitted_monotonic = time.monotonic()
+        self.subscribers: Dict[int, int] = {}   # subscriber -> cursor
+        self._next_subscriber = itertools.count(1)
         self._cond = asyncio.Condition()
 
     async def push(self, event: Dict) -> None:
@@ -97,17 +128,28 @@ class Batch:
             self._cond.notify_all()
 
     async def stream(self):
+        subscriber = next(self._next_subscriber)
+        self.subscribers[subscriber] = 0
         index = 0
-        while True:
-            async with self._cond:
-                while index >= len(self.events):
-                    await self._cond.wait()
-                fresh = self.events[index:]
-                index = len(self.events)
-            for event in fresh:
-                yield event
-                if event.get("event") == "batch_end":
-                    return
+        try:
+            while True:
+                async with self._cond:
+                    while index >= len(self.events):
+                        await self._cond.wait()
+                    fresh = self.events[index:]
+                    index = len(self.events)
+                    self.subscribers[subscriber] = index
+                for event in fresh:
+                    yield event
+                    if event.get("event") == "batch_end":
+                        return
+        finally:
+            self.subscribers.pop(subscriber, None)
+
+    def stream_backlog(self) -> int:
+        """Events appended but not yet delivered to live subscribers."""
+        return sum(len(self.events) - cursor
+                   for cursor in self.subscribers.values())
 
     def snapshot(self) -> Dict:
         """Counts per source/status for the non-streaming GET."""
@@ -125,6 +167,7 @@ class Batch:
         return {
             "batch_id": self.id,
             "tenant": self.spec.tenant,
+            "trace_id": self.trace.trace_id,
             "priority": self.priority,
             "jobs": len(self.spec.jobs),
             "distinct_jobs": len(set(self.digests)),
@@ -151,7 +194,9 @@ class SimServer:
                  spool: Optional[Spool] = None,
                  manifest_dir=None,
                  host: str = "127.0.0.1", port: int = 0,
-                 spool_poll: float = 0.2):
+                 spool_poll: float = 0.2,
+                 trace_dir=None,
+                 spool_reclaim: Optional[float] = None):
         self.cache = cache if cache is not None else DiskCache()
         self.workers = workers
         self.timeout = timeout
@@ -163,9 +208,15 @@ class SimServer:
         self.host = host
         self.port = port
         self.spool_poll = spool_poll
+        self.trace_dir = trace_dir
+        self.spool_reclaim = spool_reclaim
         self.metrics = MetricsRegistry()
+        self.telemetry = ServeTelemetry()
+        self.log = slog.get_logger("repro.serve")
+        self.access_log = slog.get_logger("repro.serve.access")
         self.batches: Dict[str, Batch] = {}
         self.started_monotonic = time.monotonic()
+        self.started_at = _now_iso()
         self._queue: List[Tuple[int, int, Batch]] = []
         self._seq = itertools.count(1)
         self._ids = itertools.count(1)
@@ -173,6 +224,7 @@ class SimServer:
         self._wake: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._scheduler_task: Optional[asyncio.Task] = None
+        self._reclaim_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -182,6 +234,8 @@ class SimServer:
         loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
         self._scheduler_task = loop.create_task(self._scheduler())
+        if self.spool is not None and self.spool_reclaim is not None:
+            self._reclaim_task = loop.create_task(self._reclaim_loop())
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -192,15 +246,30 @@ class SimServer:
         await self._server.serve_forever()
 
     async def stop(self) -> None:
-        if self._scheduler_task is not None:
-            self._scheduler_task.cancel()
+        for task in (self._scheduler_task, self._reclaim_task):
+            if task is None:
+                continue
+            task.cancel()
             try:
-                await self._scheduler_task
+                await task
             except (asyncio.CancelledError, Exception):
                 pass
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+
+    async def _reclaim_loop(self) -> None:
+        """Periodically requeue spool claims whose worker died."""
+        assert self.spool is not None and self.spool_reclaim is not None
+        interval = max(self.spool_reclaim / 2.0, self.spool_poll)
+        while True:
+            await asyncio.sleep(interval)
+            requeued = self.spool.reclaim_stale(self.spool_reclaim)
+            if requeued:
+                self.log.warning(
+                    "reclaimed stale spool claims",
+                    extra={"requeued": requeued,
+                           "spool": str(self.spool.root)})
 
     # ------------------------------------------------------------------
     # Scheduling and execution
@@ -214,6 +283,18 @@ class SimServer:
             while self._queue:
                 _, _, batch = heapq.heappop(self._queue)
                 self._running = batch.id
+                wait = time.monotonic() - batch.admitted_monotonic
+                self.telemetry.observe_queue_wait(wait)
+                self.telemetry.batch_event("started")
+                batch.spans.append(batch.trace.span(
+                    "queue-wait", batch.admitted_ts, wait,
+                    args={"batch_id": batch.id}))
+                self.log.info(
+                    "batch scheduled",
+                    extra={"batch_id": batch.id,
+                           "trace_id": batch.trace.trace_id,
+                           "tenant": batch.spec.tenant,
+                           "queue_wait_seconds": round(wait, 6)})
                 self.metrics.counter("serve.batches_started").add()
                 try:
                     if self.spool is not None:
@@ -221,12 +302,21 @@ class SimServer:
                     else:
                         await self._run_batch_local(batch)
                     self.metrics.counter("serve.batches_finished").add()
+                    self.telemetry.batch_event("completed")
                 except asyncio.CancelledError:
                     raise
                 except Exception as error:  # keep serving other batches
                     self.metrics.counter("serve.batches_errored").add()
+                    self.telemetry.batch_event("errored")
+                    self.log.error(
+                        "batch failed",
+                        extra={"batch_id": batch.id,
+                               "trace_id": batch.trace.trace_id,
+                               "error": f"{type(error).__name__}: "
+                                        f"{error}"})
                     await batch.push({
                         "event": "batch_end", "batch_id": batch.id,
+                        "trace_id": batch.trace.trace_id,
                         "error": f"{type(error).__name__}: {error}"})
                 finally:
                     self._running = None
@@ -236,13 +326,35 @@ class SimServer:
     def _job_event(self, batch: Batch, outcome: SweepOutcome) -> Dict:
         """One streamed JSON-lines record per distinct job outcome."""
         self.metrics.counter(f"serve.jobs_{outcome.source}").add()
+        digest = _digest_of(outcome.job)
+        status = "ok" if outcome.ok else "failed"
+        self.telemetry.observe_job(outcome.source, status,
+                                   outcome.wall_seconds)
+        now = time.time()
+        if outcome.source in ("cache", "quarantine"):
+            batch.spans.append(batch.trace.span(
+                "dedup", now, 0.0,
+                args={"digest": digest, "source": outcome.source}))
+        batch.spans.append(batch.trace.span(
+            "publish", now, 0.0,
+            args={"digest": digest, "source": outcome.source,
+                  "status": status}))
+        self.log.info(
+            "job %s", status,
+            extra={"batch_id": batch.id,
+                   "trace_id": batch.trace.trace_id,
+                   "tenant": batch.spec.tenant, "digest": digest,
+                   "source": outcome.source,
+                   "attempts": outcome.attempts,
+                   "wall_seconds": round(outcome.wall_seconds, 6)})
         event = {
             "event": "job",
             "batch_id": batch.id,
-            "digest": _digest_of(outcome.job),
+            "trace_id": batch.trace.trace_id,
+            "digest": digest,
             "job": outcome.job.describe(),
             "source": outcome.source,
-            "status": "ok" if outcome.ok else "failed",
+            "status": status,
             "wall_seconds": outcome.wall_seconds,
             "attempts": outcome.attempts,
         }
@@ -335,6 +447,7 @@ class SimServer:
             manifest_path = str(
                 directory / f"{batch.id}.manifest.json")
             manifest.write(manifest_path)
+        self._export_trace(batch)
         distinct = {id(o) for o in outcomes if o is not None}
         by_source: Dict[str, int] = {}
         ok = 0
@@ -350,6 +463,8 @@ class SimServer:
         await batch.push({
             "event": "batch_end",
             "batch_id": batch.id,
+            "trace_id": batch.trace.trace_id,
+            "trace_path": batch.trace_path,
             "jobs": len(batch.spec.jobs),
             "distinct_jobs": len(distinct),
             "ok": ok,
@@ -360,6 +475,25 @@ class SimServer:
             "manifest": manifest.to_dict(),
         })
 
+    def _export_trace(self, batch: Batch) -> None:
+        """Write (or refresh) the batch's Perfetto trace file."""
+        if self.trace_dir is None or not batch.spans:
+            return
+        from pathlib import Path
+
+        directory = Path(self.trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{batch.id}.trace.json"
+        try:
+            write_perfetto_trace(batch.spans, str(path))
+        except OSError as error:
+            self.log.error("trace export failed",
+                           extra={"batch_id": batch.id,
+                                  "trace_id": batch.trace.trace_id,
+                                  "error": str(error)})
+            return
+        batch.trace_path = str(path)
+
     async def _run_batch_local(self, batch: Batch) -> None:
         """Execute one batch on this host's pool via
         :func:`runner.run_sweep` (cache dedup included)."""
@@ -368,6 +502,7 @@ class SimServer:
         perf = time.perf_counter()
         await batch.push({
             "event": "batch_start", "batch_id": batch.id,
+            "trace_id": batch.trace.trace_id,
             "tenant": batch.spec.tenant,
             "jobs": len(batch.spec.jobs),
             "distinct_jobs": len(set(batch.digests)),
@@ -380,11 +515,24 @@ class SimServer:
             loop.call_soon_threadsafe(
                 loop.create_task, batch.push(event))
 
+        def on_attempt(job, attempt, started_ts, duration, status,
+                       worker_pid) -> None:
+            # Executor thread too: one span per execution attempt,
+            # retries included (list.append is atomic under the GIL).
+            self.telemetry.observe_attempt(status)
+            batch.spans.append(batch.trace.span(
+                "simulate" if attempt == 1 else "retry",
+                started_ts, duration,
+                args={"digest": _digest_of(job),
+                      "benchmark": job.benchmark, "attempt": attempt,
+                      "status": status, "worker_pid": worker_pid}))
+
         outcomes = await loop.run_in_executor(None, lambda: run_sweep(
             jobs, workers=self.workers, cache=self.cache,
             timeout=self.timeout, retries=self.retries,
             retry_backoff=self.retry_backoff,
-            resume=batch.spec.resume, on_outcome=on_outcome))
+            resume=batch.spec.resume, on_outcome=on_outcome,
+            on_attempt=on_attempt))
         await self._finish_batch(batch, outcomes, started_at,
                                  time.perf_counter() - perf)
 
@@ -411,6 +559,7 @@ class SimServer:
                 spec_of[digest] = spec
         await batch.push({
             "event": "batch_start", "batch_id": batch.id,
+            "trace_id": batch.trace.trace_id,
             "tenant": batch.spec.tenant,
             "jobs": len(batch.spec.jobs),
             "distinct_jobs": len(distinct),
@@ -450,6 +599,8 @@ class SimServer:
                            "retry_backoff": self.retry_backoff},
                 "resume": batch.spec.resume,
                 "batch_id": batch.id,
+                "trace": batch.trace.to_wire(),
+                "enqueued_ts": time.time(),
             })
             pending.append(digest)
         while pending:
@@ -475,6 +626,7 @@ class SimServer:
                 else:
                     still.append(digest)
                     continue
+                self._merge_worker_spans(batch, payload)
                 outcome_of[digest] = outcome
                 await batch.push(self._job_event(batch, outcome))
             pending = still
@@ -482,25 +634,74 @@ class SimServer:
         await self._finish_batch(batch, outcomes, started_at,
                                  time.perf_counter() - perf)
 
+    def _merge_worker_spans(self, batch: Batch, payload: Dict) -> None:
+        """Stitch a spool worker's spans into the batch's trace.
+
+        Workers serialise their spans (claim, simulate, retries) into
+        the done/failed payload; spans from another batch's earlier
+        completion of the same digest keep their own trace id and are
+        skipped.  Attempt counters move here so ``/v1/metrics``
+        reflects spool-side retries too.
+        """
+        spans = payload.get("spans")
+        if not isinstance(spans, list):
+            return
+        for span in spans:
+            if not isinstance(span, dict):
+                continue
+            if span.get("trace_id") != batch.trace.trace_id:
+                continue
+            batch.spans.append(span)
+            status = (span.get("args") or {}).get("status")
+            if span.get("name") in ("simulate", "retry") and status:
+                self.telemetry.observe_attempt(str(status))
+
     # ------------------------------------------------------------------
     # HTTP front end
     # ------------------------------------------------------------------
 
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
+        started = time.perf_counter()
+        method = path = "-"
+        status: Optional[int] = None
         try:
-            request = await self._read_request(reader)
-            if request is not None:
+            try:
+                request = await self._read_request(reader)
+                if request is None:    # connection closed with no data
+                    return
                 method, path, body = request
-                await self._route(method, path, body, writer)
+                status = await self._route(method, path, body, writer)
+            except _RequestError as error:
+                method, path = error.method, error.path
+                status = self._respond(writer, error.status,
+                                       {"error": error.reason})
+            await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
-            pass
+            status = status if status is not None else 0
         finally:
+            if status is not None:
+                self._access(method, path, status,
+                             time.perf_counter() - started)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _access(self, method: str, path: str, status: int,
+                seconds: float) -> None:
+        """One access-log line + request metrics per HTTP exchange.
+
+        ``status`` 0 means the client vanished mid-response; the
+        request still counts, labeled with code 0.
+        """
+        route = (normalize_route(path) if path != "-" else "<malformed>")
+        self.telemetry.observe_request(route, method, status, seconds)
+        self.access_log.info(
+            "%s %s %s", method, path, status,
+            extra={"status": status, "route": route,
+                   "duration_ms": round(seconds * 1e3, 3)})
 
     @staticmethod
     async def _read_request(reader: asyncio.StreamReader):
@@ -509,13 +710,14 @@ class SimServer:
             return None
         parts = line.decode("latin-1").strip().split()
         if len(parts) != 3:
-            return None
+            raise _RequestError(400, "malformed request line")
         method, path, _version = parts
         length = 0
         while True:
             header = await reader.readline()
             if len(header) > _MAX_LINE:
-                return None
+                raise _RequestError(431, "request header too large",
+                                    method, path)
             if header in (b"\r\n", b"\n", b""):
                 break
             name, _, value = header.decode("latin-1").partition(":")
@@ -523,91 +725,126 @@ class SimServer:
                 try:
                     length = int(value.strip())
                 except ValueError:
-                    return None
-        if length < 0 or length > _MAX_BODY:
-            return None
+                    raise _RequestError(400, "bad Content-Length",
+                                        method, path) from None
+        if length < 0:
+            raise _RequestError(400, "bad Content-Length", method, path)
+        if length > _MAX_BODY:
+            raise _RequestError(413, "request body too large",
+                                method, path)
         body = await reader.readexactly(length) if length else b""
         return method, path, body
 
     @staticmethod
     def _respond(writer: asyncio.StreamWriter, status: int,
-                 payload: Dict) -> None:
-        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                   404: "Not Found", 405: "Method Not Allowed",
-                   429: "Too Many Requests",
-                   500: "Internal Server Error"}
+                 payload: Dict) -> int:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode()
-        head = (f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+        reason = http.client.responses.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n").encode("latin-1")
         writer.write(head + body)
+        return status
+
+    @staticmethod
+    def _respond_text(writer: asyncio.StreamWriter, status: int,
+                      text: str, content_type: str) -> int:
+        body = text.encode()
+        reason = http.client.responses.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        return status
 
     async def _route(self, method: str, path: str, body: bytes,
-                     writer: asyncio.StreamWriter) -> None:
+                     writer: asyncio.StreamWriter) -> int:
         path = path.split("?", 1)[0]
         if method == "POST" and path == "/v1/batches":
-            await self._handle_submit(body, writer)
-        elif method == "GET" and path == "/v1/status":
-            self._respond(writer, 200, self.status())
-        elif method == "GET" and path.startswith("/v1/batches/"):
+            return await self._handle_submit(body, writer)
+        if method == "GET" and path == "/v1/status":
+            return self._respond(writer, 200, self.status())
+        if method == "GET" and path == "/v1/metrics":
+            return self._respond_text(
+                writer, 200, self.telemetry.render(self._collect),
+                CONTENT_TYPE)
+        if method == "GET" and path.startswith("/v1/batches/"):
             rest = path[len("/v1/batches/"):]
             if rest.endswith("/events"):
                 batch = self.batches.get(rest[: -len("/events")])
                 if batch is None:
-                    self._respond(writer, 404,
-                                  {"error": "unknown batch"})
-                else:
-                    await self._stream_events(batch, writer)
-            else:
-                batch = self.batches.get(rest)
-                if batch is None:
-                    self._respond(writer, 404,
-                                  {"error": "unknown batch"})
-                else:
-                    self._respond(writer, 200, batch.snapshot())
-        elif path.startswith("/v1/"):
-            self._respond(writer, 405 if method not in ("GET", "POST")
-                          else 404, {"error": f"no route for {method} "
-                                              f"{path}"})
-        else:
-            self._respond(writer, 404, {"error": f"no route for "
-                                                 f"{method} {path}"})
-        await writer.drain()
+                    return self._respond(writer, 404,
+                                         {"error": "unknown batch"})
+                return await self._stream_events(batch, writer)
+            batch = self.batches.get(rest)
+            if batch is None:
+                return self._respond(writer, 404,
+                                     {"error": "unknown batch"})
+            return self._respond(writer, 200, batch.snapshot())
+        if path.startswith("/v1/"):
+            return self._respond(
+                writer, 405 if method not in ("GET", "POST") else 404,
+                {"error": f"no route for {method} {path}"})
+        return self._respond(writer, 404,
+                             {"error": f"no route for {method} {path}"})
 
     async def _handle_submit(self, body: bytes,
-                             writer: asyncio.StreamWriter) -> None:
+                             writer: asyncio.StreamWriter) -> int:
         assert self._wake is not None
+        admit_ts = time.time()
+        admit_perf = time.perf_counter()
         try:
             data = json.loads(body.decode() or "null")
         except (ValueError, UnicodeDecodeError):
-            self._respond(writer, 400,
-                          {"error": "request body is not valid JSON"})
-            return
+            self.telemetry.protocol_rejected()
+            return self._respond(
+                writer, 400,
+                {"error": "request body is not valid JSON"})
         try:
             spec = parse_batch(data)
         except ProtocolError as error:
             self.metrics.counter("serve.rejected_protocol").add()
-            self._respond(writer, 400, {"error": str(error)})
-            return
+            self.telemetry.protocol_rejected()
+            self.log.warning("submission rejected",
+                             extra={"reason": str(error)})
+            return self._respond(writer, 400, {"error": str(error)})
         try:
             policy = self.quotas.admit(spec.tenant, len(spec.jobs))
         except QuotaExceeded as error:
             self.metrics.counter("serve.rejected_quota").add()
-            self._respond(writer, 429, {"error": str(error)})
-            return
+            self.telemetry.quota_rejected(spec.tenant)
+            self.log.warning("quota rejection",
+                             extra={"tenant": spec.tenant,
+                                    "reason": str(error)})
+            return self._respond(writer, 429, {"error": str(error)})
         digests = [job.digest() for job in spec.jobs]
         batch = Batch(f"b{next(self._ids):06d}", spec, digests,
-                      policy.priority)
+                      policy.priority,
+                      trace=TraceContext.new(spec.trace_id))
+        batch.spans.append(batch.trace.span(
+            "admit", admit_ts, time.perf_counter() - admit_perf,
+            args={"batch_id": batch.id, "tenant": spec.tenant,
+                  "jobs": len(spec.jobs)},
+            span_id=batch.trace.span_id))
         self.batches[batch.id] = batch
         heapq.heappush(self._queue,
                        (-policy.priority, next(self._seq), batch))
         self._wake.set()
         self.metrics.counter("serve.batches_accepted").add()
         self.metrics.counter("serve.jobs_accepted").add(len(spec.jobs))
-        self._respond(writer, 202, {
+        self.telemetry.batch_event("admitted")
+        self.log.info(
+            "batch admitted",
+            extra={"batch_id": batch.id,
+                   "trace_id": batch.trace.trace_id,
+                   "tenant": spec.tenant, "jobs": len(spec.jobs),
+                   "priority": policy.priority})
+        return self._respond(writer, 202, {
             "batch_id": batch.id,
             "tenant": spec.tenant,
+            "trace_id": batch.trace.trace_id,
             "priority": policy.priority,
             "jobs": len(spec.jobs),
             "distinct_jobs": len(set(digests)),
@@ -617,28 +854,75 @@ class SimServer:
         })
 
     async def _stream_events(self, batch: Batch,
-                             writer: asyncio.StreamWriter) -> None:
+                             writer: asyncio.StreamWriter) -> int:
+        started_ts = time.time()
+        perf = time.perf_counter()
+        delivered = 0
         writer.write(b"HTTP/1.1 200 OK\r\n"
                      b"Content-Type: application/x-ndjson\r\n"
                      b"Transfer-Encoding: chunked\r\n"
                      b"Connection: close\r\n\r\n")
-        async for event in batch.stream():
-            chunk = (json.dumps(event, sort_keys=True) + "\n").encode()
-            writer.write(f"{len(chunk):x}\r\n".encode() + chunk
-                         + b"\r\n")
+        try:
+            async for event in batch.stream():
+                chunk = (json.dumps(event, sort_keys=True)
+                         + "\n").encode()
+                writer.write(f"{len(chunk):x}\r\n".encode() + chunk
+                             + b"\r\n")
+                await writer.drain()
+                delivered += 1
+            writer.write(b"0\r\n\r\n")
             await writer.drain()
-        writer.write(b"0\r\n\r\n")
-        await writer.drain()
+        finally:
+            batch.spans.append(batch.trace.span(
+                "stream", started_ts, time.perf_counter() - perf,
+                args={"batch_id": batch.id, "events": delivered}))
+            if batch.done:
+                # The trace file written at batch_end predates this
+                # subscriber's stream span; refresh it in place.
+                self._export_trace(batch)
+        return 200
+
+    def _collect(self) -> None:
+        """Refresh sampled gauges under the telemetry lock, so one
+        scrape is one consistent snapshot."""
+        registry = self.telemetry.registry
+        registry.gauge("repro_queue_depth").set(float(len(self._queue)))
+        registry.gauge("repro_uptime_seconds").set(
+            time.monotonic() - self.started_monotonic)
+        registry.gauge("repro_stream_subscribers").set(float(sum(
+            len(batch.subscribers) for batch in self.batches.values())))
+        registry.gauge("repro_stream_backlog_events").set(float(sum(
+            batch.stream_backlog() for batch in self.batches.values())))
+        for op, value in self.cache.counters().items():
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                continue  # counters() also carries the root path
+            self.telemetry.cache_ops.labels(op=op).value = value
+        if self.spool is not None:
+            for state, count in self.spool.depth().items():
+                self.telemetry.spool_jobs.labels(state=state).set(
+                    float(count))
+            self.telemetry.spool_reclaimed.labels().value = (
+                self.spool.reclaimed)
+        self.telemetry.build_info.labels(
+            code_version=code_version(), host=_HOST).set(1.0)
 
     def status(self) -> Dict:
         """The ``/v1/status`` payload: every counter the ops story
         needs, straight from the existing registries."""
+        spool_status = None
+        if self.spool is not None:
+            spool_status = self.spool.depth()
+            spool_status["reclaimed"] = self.spool.reclaimed
         return {
             "server": {
                 "host": self.host,
                 "port": self.port,
+                "hostname": _HOST,
+                "pid": os.getpid(),
                 "workers": self.workers,
                 "mode": "spool" if self.spool is not None else "local",
+                "started_at": self.started_at,
                 "uptime_seconds": (time.monotonic()
                                    - self.started_monotonic),
                 "code_version": code_version(),
@@ -651,8 +935,7 @@ class SimServer:
             "cache": self.cache.counters(),
             "metrics": self.metrics.counters(),
             "tenants": self.quotas.snapshot(),
-            "spool": (self.spool.depth()
-                      if self.spool is not None else None),
+            "spool": spool_status,
         }
 
 
@@ -745,13 +1028,26 @@ def configure_parser(parser) -> None:
                              "of simulating locally")
     parser.add_argument("--manifest-dir", default=None, metavar="DIR",
                         help="write one run manifest per batch here")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="write one Perfetto trace per batch here "
+                             "(admit/queue/claim/simulate spans across "
+                             "all participating hosts)")
+    parser.add_argument("--spool-reclaim", type=float, default=None,
+                        metavar="SECONDS",
+                        help="requeue spool claims idle longer than "
+                             "this (the owning worker died); server-"
+                             "side complement of the worker's "
+                             "--reclaim-after")
     parser.add_argument("--inject-fault", default=None, metavar="SPEC",
                         help="fault injector for smoke tests, e.g. "
                              "crash:mcf (see fxa-experiments "
                              "--inject-fault)")
+    slog.add_logging_args(parser)
 
 
 def cmd(args) -> int:
+    slog.configure_from_args(args)
+    log = slog.get_logger("repro.serve")
     quotas = (QuotaRegistry.from_file(args.quotas)
               if args.quotas else QuotaRegistry())
     spool = Spool(args.spool) if args.spool else None
@@ -770,20 +1066,26 @@ def cmd(args) -> int:
         manifest_dir=args.manifest_dir,
         host=args.host,
         port=args.port,
+        trace_dir=args.trace_dir,
+        spool_reclaim=args.spool_reclaim,
     )
 
     async def _main() -> None:
         await server.start()
-        mode = (f"spool={spool.root}" if spool
-                else f"local, {server.workers} worker(s)")
-        print(f"[serve] listening on http://{server.host}:"
-              f"{server.port} ({mode}, cache {server.cache.root})")
+        log.info(
+            "listening on http://%s:%s", server.host, server.port,
+            extra={"mode": ("spool" if spool is not None else "local"),
+                   "workers": server.workers,
+                   "cache": str(server.cache.root),
+                   **({"spool_dir": str(spool.root)} if spool else {}),
+                   **({"trace_dir": args.trace_dir}
+                      if args.trace_dir else {})})
         await server.serve_forever()
 
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
-        print("[serve] interrupted")
+        log.info("interrupted")
     return 0
 
 

@@ -61,6 +61,9 @@ class Spool:
         for state in _STATES:
             (self.root / state).mkdir(parents=True, exist_ok=True)
         self.worker_id = f"{_HOST}.{os.getpid()}"
+        #: Cumulative count of stale claims this handle requeued
+        #: (surfaced on /v1/status and /v1/metrics).
+        self.reclaimed = 0
 
     def _queued(self, digest: str) -> Path:
         return self.root / "queued" / f"{digest}.json"
@@ -182,6 +185,7 @@ class Spool:
             except OSError:
                 continue  # the worker finished or another host won
             requeued += 1
+        self.reclaimed += requeued
         return requeued
 
     def depth(self) -> Dict[str, int]:
@@ -202,18 +206,59 @@ def execute_claim(claim: SpoolClaim, cache) -> Dict:
     execution goes through :func:`runner.run_sweep` so the retry /
     quarantine semantics and the disk-cache persistence are exactly
     the local pool's.
+
+    When the request carries a trace context (``"trace"`` wire dict,
+    see :class:`repro.serve.telemetry.TraceContext`), the payload
+    returns a ``"spans"`` list — one ``claim`` span covering this
+    worker's ownership plus one ``simulate``/``retry`` span per
+    execution attempt — which the server stitches into the batch's
+    distributed trace.
     """
     from repro.experiments.runner import run_sweep
     from repro.serve.protocol import ProtocolError, parse_job
+    from repro.serve.telemetry import TraceContext
 
     worker = f"{_HOST}.{os.getpid()}"
+    trace = TraceContext.from_wire(claim.request.get("trace"))
+    claim_ts = time.time()
+    spans = []
+    claim_ctx = trace
+    if trace is not None:
+        enqueued_ts = claim.request.get("enqueued_ts")
+        claim_span = trace.span(
+            "claim", claim_ts, 0.0,
+            args={"digest": claim.digest, "worker": worker,
+                  **({"spool_wait_seconds":
+                      round(claim_ts - enqueued_ts, 6)}
+                     if isinstance(enqueued_ts, (int, float)) else {})})
+        spans.append(claim_span)
+        claim_ctx = TraceContext(trace.trace_id, claim_span["span_id"])
+
+    def _finish(payload: Dict) -> Dict:
+        if spans:
+            spans[0]["duration"] = max(0.0, time.time() - claim_ts)
+            payload["spans"] = spans
+        return payload
+
+    def on_attempt(job, attempt, started_ts, duration, status,
+                   worker_pid) -> None:
+        if claim_ctx is None:
+            return
+        spans.append(claim_ctx.span(
+            "simulate" if attempt == 1 else "retry",
+            started_ts, duration,
+            args={"digest": claim.digest, "benchmark": job.benchmark,
+                  "attempt": attempt, "status": status,
+                  "worker_pid": worker_pid}))
+
     try:
         spec = parse_job(claim.request.get("job"))
     except ProtocolError as error:
-        return {"digest": claim.digest, "status": "failed",
-                "failure": {"cause": "exception", "error": str(error),
-                            "error_type": "ProtocolError", "attempts": 1},
-                "worker": worker}
+        return _finish({
+            "digest": claim.digest, "status": "failed",
+            "failure": {"cause": "exception", "error": str(error),
+                        "error_type": "ProtocolError", "attempts": 1},
+            "worker": worker})
     policy = claim.request.get("policy") or {}
     outcome = run_sweep(
         [spec.sim_job()],
@@ -223,17 +268,20 @@ def execute_claim(claim: SpoolClaim, cache) -> Dict:
         retries=int(policy.get("retries", 0)),
         retry_backoff=float(policy.get("retry_backoff", 0.25)),
         resume=bool(claim.request.get("resume", False)),
+        on_attempt=on_attempt,
     )[0]
     if outcome.ok:
-        return {"digest": claim.digest, "status": "ok",
-                "source": outcome.source,
-                "run": outcome.run.to_dict(),
-                "wall_seconds": outcome.wall_seconds,
-                "attempts": outcome.attempts,
-                "worker": worker}
-    return {"digest": claim.digest, "status": "failed",
-            "failure": outcome.failure.to_dict(),
-            "worker": worker}
+        return _finish({
+            "digest": claim.digest, "status": "ok",
+            "source": outcome.source,
+            "run": outcome.run.to_dict(),
+            "wall_seconds": outcome.wall_seconds,
+            "attempts": outcome.attempts,
+            "worker": worker})
+    return _finish({
+        "digest": claim.digest, "status": "failed",
+        "failure": outcome.failure.to_dict(),
+        "worker": worker})
 
 
 def run_worker(spool: Spool, cache=None, poll: float = 0.5,
@@ -246,11 +294,18 @@ def run_worker(spool: Spool, cache=None, poll: float = 0.5,
     Runs until ``max_jobs`` jobs are done or the spool has been empty
     for ``idle_exit`` seconds (forever when both are None).
     """
+    from repro.obs import slog
+
+    logger = slog.get_logger("repro.serve.spool")
     executed = 0
     idle_since: Optional[float] = None
     while max_jobs is None or executed < max_jobs:
         if reclaim_after is not None:
-            spool.reclaim_stale(reclaim_after)
+            requeued = spool.reclaim_stale(reclaim_after)
+            if requeued:
+                logger.warning("reclaimed stale claims",
+                               extra={"requeued": requeued,
+                                      "worker": spool.worker_id})
         claim = spool.claim()
         if claim is None:
             now = time.monotonic()
@@ -266,7 +321,15 @@ def run_worker(spool: Spool, cache=None, poll: float = 0.5,
             spool.complete(claim, payload)
         else:
             spool.fail(claim, payload)
-        if log is not None:
+        trace = claim.request.get("trace")
+        logger.info(
+            "job %s", payload["status"],
+            extra={"digest": claim.digest,
+                   "batch_id": claim.request.get("batch_id"),
+                   "worker": spool.worker_id,
+                   **({"trace_id": trace.get("trace_id")}
+                      if isinstance(trace, dict) else {})})
+        if log is not None:    # legacy callback, kept for embedders
             log(f"[spool-worker] {claim.digest[:12]} "
                 f"{payload['status']}")
         executed += 1
@@ -297,22 +360,29 @@ def configure_parser(parser) -> None:
                         metavar="SECONDS",
                         help="requeue claims idle longer than this "
                              "(another worker died mid-job)")
+    from repro.obs import slog
+
+    slog.add_logging_args(parser)
 
 
 def cmd(args) -> int:
     from repro.experiments.diskcache import DiskCache
+    from repro.obs import slog
 
+    slog.configure_from_args(args)
+    logger = slog.get_logger("repro.serve.spool")
     spool = Spool(args.spool)
     cache = DiskCache(args.cache_dir)
-    print(f"[spool-worker {spool.worker_id}] draining {spool.root} "
-          f"(cache {cache.root})")
+    logger.info("draining spool",
+                extra={"worker": spool.worker_id,
+                       "spool": str(spool.root),
+                       "cache": str(cache.root)})
     executed = run_worker(spool, cache=cache, poll=args.poll,
                           max_jobs=args.max_jobs,
                           idle_exit=args.idle_exit,
-                          reclaim_after=args.reclaim_after,
-                          log=print)
-    print(f"[spool-worker {spool.worker_id}] executed {executed} "
-          f"job(s)")
+                          reclaim_after=args.reclaim_after)
+    logger.info("worker exit",
+                extra={"worker": spool.worker_id, "executed": executed})
     return 0
 
 

@@ -76,11 +76,92 @@ class TestRoundTrip:
         )
 
 
+class TestGauge:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(4)
+        gauge.add(-1)
+        assert gauge.value == 3
+        assert registry.gauge("depth") is gauge
+
+    def test_gauges_key_only_serialises_when_used(self):
+        # Simulator results never touch gauges; their to_dict must stay
+        # byte-identical to pre-gauge releases.
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        assert "gauges" not in registry.to_dict()
+        registry.gauge("g").set(2.5)
+        data = registry.to_dict()
+        assert data["gauges"] == {"g": 2.5}
+        back = MetricsRegistry.from_dict(data)
+        assert back.gauge("g").value == 2.5
+
+
+class TestFamily:
+    def test_children_keyed_by_label_values(self):
+        registry = MetricsRegistry()
+        family = registry.counter_family("req", ("route", "code"))
+        family.labels(route="/a", code=200).add(2)
+        family.labels(route="/a", code=500).add()
+        assert family.labels(route="/a", code="200").value == 2
+        values = {labels: child.value
+                  for labels, child in family.children()}
+        assert values == {("/a", "200"): 2, ("/a", "500"): 1}
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        family = registry.counter_family("req", ("route",))
+        with pytest.raises(KeyError):
+            family.labels(code=200)
+        with pytest.raises(KeyError):
+            family.labels(route="/a", code=200)
+
+    def test_redeclaration_must_match(self):
+        registry = MetricsRegistry()
+        registry.counter_family("req", ("route",))
+        assert registry.counter_family("req", ("route",)) is not None
+        with pytest.raises(ValueError, match="redeclared"):
+            registry.gauge_family("req", ("route",))
+        with pytest.raises(ValueError, match="redeclared"):
+            registry.counter_family("req", ("code",))
+
+    def test_histogram_family_needs_bounds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="bounds"):
+            registry.family("h", "histogram", ())
+        hist = registry.histogram_family("h", (), (1.0, 2.0))
+        hist.labels().observe(1.5)
+        assert hist.labels().counts == [0, 1, 0]
+
+    def test_unknown_kind_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="kind"):
+            registry.family("x", "summary", ())
+
+    def test_families_never_serialise(self):
+        # Families are serving-side; cached simulator results must not
+        # grow a key for them.
+        registry = MetricsRegistry()
+        registry.counter_family("req", ()).labels().add()
+        assert set(registry.to_dict()) == {"counters", "histograms"}
+
+
 class TestNullRegistry:
     def test_null_is_free_and_silent(self):
         assert isinstance(NULL_METRICS, NullMetricsRegistry)
         NULL_METRICS.counter("anything").add(5)
         NULL_METRICS.histogram("h", bounds=(1,)).observe(3)
+        assert NULL_METRICS.to_dict() == {"counters": {},
+                                          "histograms": {}}
+
+    def test_null_gauges_and_families_are_no_ops(self):
+        NULL_METRICS.gauge("g").set(9)
+        NULL_METRICS.counter_family("c", ("l",)).labels(l="x").add()
+        NULL_METRICS.gauge_family("g2", ()).labels().set(1)
+        NULL_METRICS.histogram_family("h", (), (1,)).labels().observe(2)
+        assert NULL_METRICS.gauges() == {}
+        assert NULL_METRICS.families() == {}
         assert NULL_METRICS.to_dict() == {"counters": {},
                                           "histograms": {}}
 
